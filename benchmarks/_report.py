@@ -1,0 +1,28 @@
+"""Benchmark reporting: save reproduced tables for the terminal summary.
+
+Each benchmark renders its paper-style table and calls :func:`save`;
+the conftest's ``pytest_terminal_summary`` hook prints every saved table
+at the end of the run (un-captured, so it lands in bench_output.txt).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def all_results() -> list[tuple[str, str]]:
+    """All saved (name, text) tables, sorted by name."""
+    if not RESULTS_DIR.exists():
+        return []
+    return [
+        (path.stem, path.read_text().rstrip())
+        for path in sorted(RESULTS_DIR.glob("*.txt"))
+    ]

@@ -1,0 +1,89 @@
+"""Ablation (Fig. 5's application guidance): message aggregation.
+
+Figure 5 identifies ~4 KB as the inflection point below which per-message
+overhead dominates; applications sending many small updates should
+aggregate. This bench ships N small fragments either as individual
+non-blocking puts or through one aggregate handle, across fragment sizes
+straddling the inflection point.
+"""
+
+
+from _report import save
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.util import bytes_fmt, render_table, us
+
+N_FRAGMENTS = 32
+SIZES = (32, 256, 2048, 16384)
+
+
+def _run() -> dict:
+    job = ArmciJob(2, procs_per_node=1, config=ArmciConfig())
+    job.init()
+    out = {}
+
+    def body(rt):
+        alloc = yield from rt.malloc(N_FRAGMENTS * max(SIZES))
+        if rt.rank == 0:
+            space = rt.world.space(0)
+            src = space.allocate(max(SIZES))
+            yield from rt.put(1, src, alloc.addr(1), 64)  # warm caches
+            yield from rt.fence(1)
+            warm = rt.aggregate(1)
+            warm.put(src, alloc.addr(1), 64)
+            yield from warm.flush()
+            yield from rt.fence(1)
+            for size in SIZES:
+                t0 = rt.engine.now
+                for i in range(N_FRAGMENTS):
+                    yield from rt.nbput(1, src, alloc.addr(1) + i * size, size)
+                yield from rt.wait_all()
+                individual = rt.engine.now - t0
+                yield from rt.fence(1)
+                t0 = rt.engine.now
+                agg = rt.aggregate(1)
+                for i in range(N_FRAGMENTS):
+                    agg.put(src, alloc.addr(1) + i * size, size)
+                yield from agg.flush()
+                aggregated = rt.engine.now - t0
+                yield from rt.fence(1)
+                out[size] = (individual, aggregated)
+        yield from rt.barrier()
+
+    job.run(body)
+    return out
+
+
+def test_ablation_message_aggregation(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    # Small fragments: aggregation wins big (one o instead of N).
+    assert out[32][1] < out[32][0] / 5
+    assert out[256][1] < out[256][0] / 3
+    # Past the inflection point the wire time dominates and the win
+    # shrinks toward nothing.
+    gain_small = out[32][0] / out[32][1]
+    gain_large = out[16384][0] / out[16384][1]
+    assert gain_large < gain_small / 4
+    assert gain_large < 1.6
+
+    rows = [
+        [
+            bytes_fmt(size),
+            f"{us(ind):.1f}",
+            f"{us(agg):.1f}",
+            f"{ind / agg:.1f}x",
+        ]
+        for size, (ind, agg) in out.items()
+    ]
+    save(
+        "ablation_aggregation",
+        render_table(
+            ["fragment", f"{N_FRAGMENTS} puts (us)", "aggregated (us)", "gain"],
+            rows,
+            title=(
+                "Fig. 5 ablation: individual small puts vs one aggregate "
+                "handle (inflection near 4 KB)"
+            ),
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Ablation (Section III-E): cs_mr vs cs_tgt conflicting-access tracking.
+
+Distributed dgemm (reads A/B, accumulates C) under both trackers: the
+naive per-target tracker fences reads of A/B because of outstanding C
+updates; the proposed per-region tracker never does. Results must be
+bit-identical.
+"""
+
+import numpy as np
+
+from _report import save
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.gax import GlobalArray, Patch, SharedCounter, parallel_dgemm
+from repro.util import render_table, us
+
+N, BLOCK, PROCS = 32, 8, 4
+
+
+def _run(tracker: str, a: np.ndarray, b: np.ndarray):
+    job = ArmciJob(
+        PROCS, procs_per_node=PROCS,
+        config=ArmciConfig(consistency_tracker=tracker),
+    )
+    job.init()
+    t0 = job.engine.now
+
+    def body(rt):
+        ga_a = yield from GlobalArray.create(rt, (N, N))
+        ga_b = yield from GlobalArray.create(rt, (N, N))
+        ga_c = yield from GlobalArray.create(rt, (N, N))
+        counter = yield from SharedCounter.create(rt)
+        ga_c.fill(rt, 0.0)
+        yield from rt.barrier()
+        if rt.rank == 0:
+            yield from ga_a.put(rt, Patch(0, N, 0, N), a)
+            yield from ga_b.put(rt, Patch(0, N, 0, N), b)
+            yield from rt.fence_all()
+        yield from rt.barrier()
+        yield from parallel_dgemm(rt, ga_a, ga_b, ga_c, counter, BLOCK)
+        result = None
+        if rt.rank == 0:
+            result = yield from ga_c.to_numpy(rt)
+        yield from rt.barrier()
+        return result
+
+    c = job.run(body)[0]
+    return c, job.engine.now - t0, job.trace
+
+
+def test_ablation_consistency_trackers(benchmark):
+    rng = np.random.default_rng(2013)
+    a = rng.standard_normal((N, N))
+    b = rng.standard_normal((N, N))
+
+    def run():
+        return {t: _run(t, a, b) for t in ("cs_tgt", "cs_mr")}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    c_tgt, t_tgt, tr_tgt = out["cs_tgt"]
+    c_mr, t_mr, tr_mr = out["cs_mr"]
+
+    # Identical numerics; fewer forced fences; no slower.
+    np.testing.assert_allclose(c_tgt, a @ b, rtol=1e-12)
+    np.testing.assert_allclose(c_mr, c_tgt)
+    assert tr_mr.count("armci.fences_forced") == 0
+    assert tr_tgt.count("armci.fences_forced") > 10
+    assert tr_mr.count("armci.fences_avoided") > 10
+    assert t_mr <= t_tgt
+
+    rows = [
+        [
+            name,
+            f"{us(t):.1f}",
+            tr.count("armci.fences_forced"),
+            tr.count("armci.fences_avoided"),
+        ]
+        for name, (c, t, tr) in (("cs_tgt", out["cs_tgt"]), ("cs_mr", out["cs_mr"]))
+    ]
+    save(
+        "ablation_consistency",
+        render_table(
+            ["tracker", "dgemm time (us)", "forced fences", "avoided fences"],
+            rows,
+            title=(
+                "Section III-E ablation: dgemm under cs_tgt vs cs_mr "
+                "(identical results, false-positive fences eliminated)"
+            ),
+        ),
+    )

@@ -1,0 +1,103 @@
+"""Ablation (extension): torus link contention under incast traffic.
+
+The paper's benchmarks run uncongested pairs; this extension serializes
+payloads on shared route links, showing what dimension-order routing
+does to incast (many-to-one) traffic — the hot-spot problem the same
+authors studied on InfiniBand (Vishnu et al., CCGrid'07). Dynamic
+routing (unavailable in BG/Q software at the paper's submission,
+Section II-A) would spread these flows.
+"""
+
+from _report import save
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.pami import PamiWorld
+from repro.topology import RankMapping, Torus
+from repro.util import render_table, us
+
+RING = 8
+SIZE = 64 * 1024
+
+
+def _incast(link_contention: bool) -> float:
+    mapping = RankMapping(Torus((RING, 1, 1, 1, 1)), 1, order="ABCDET")
+    world = PamiWorld(
+        RING, procs_per_node=1, mapping=mapping,
+        link_contention=link_contention,
+    )
+    job = ArmciJob(RING, config=ArmciConfig(), world=world)
+    job.init()
+    makespans = []
+
+    def body(rt):
+        alloc = yield from rt.malloc(RING * SIZE)
+        yield from rt.barrier()
+        t0 = rt.engine.now
+        if rt.rank != 0:
+            src = rt.world.space(rt.rank).allocate(SIZE)
+            yield from rt.put(0, src, alloc.addr(0) + rt.rank * SIZE, SIZE)
+            yield from rt.fence(0)
+        yield from rt.barrier()
+        makespans.append(rt.engine.now - t0)
+
+    job.run(body)
+    return max(makespans)
+
+
+def _pairwise(link_contention: bool) -> float:
+    """Disjoint neighbor pairs (2k -> 2k+1): no shared links."""
+    mapping = RankMapping(Torus((RING, 1, 1, 1, 1)), 1, order="ABCDET")
+    world = PamiWorld(
+        RING, procs_per_node=1, mapping=mapping,
+        link_contention=link_contention,
+    )
+    job = ArmciJob(RING, config=ArmciConfig(), world=world)
+    job.init()
+    makespans = []
+
+    def body(rt):
+        alloc = yield from rt.malloc(SIZE)
+        yield from rt.barrier()
+        t0 = rt.engine.now
+        if rt.rank % 2 == 0:
+            src = rt.world.space(rt.rank).allocate(SIZE)
+            yield from rt.put(rt.rank + 1, src, alloc.addr(rt.rank + 1), SIZE)
+            yield from rt.fence(rt.rank + 1)
+        yield from rt.barrier()
+        makespans.append(rt.engine.now - t0)
+
+    job.run(body)
+    return max(makespans)
+
+
+def test_ablation_link_contention(benchmark):
+    def run():
+        return {
+            ("incast", False): _incast(False),
+            ("incast", True): _incast(True),
+            ("pairwise", False): _pairwise(False),
+            ("pairwise", True): _pairwise(True),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Disjoint pairs are untouched by the contention model...
+    assert out[("pairwise", True)] == out[("pairwise", False)]
+    # ...incast pays for the shared last links into the target.
+    assert out[("incast", True)] > 1.5 * out[("incast", False)]
+
+    rows = [
+        [pattern, "on" if c else "off", f"{us(t):.1f}"]
+        for (pattern, c), t in sorted(out.items())
+    ]
+    save(
+        "ablation_linkcontention",
+        render_table(
+            ["traffic pattern", "link contention", "makespan (us)"],
+            rows,
+            title=(
+                "Extension ablation: torus link contention — incast "
+                f"({RING - 1}-to-1, {SIZE // 1024} KB) vs disjoint pairs"
+            ),
+        ),
+    )

@@ -1,0 +1,121 @@
+"""Equations 7-9: LogGP protocol models vs simulated protocol latencies.
+
+The paper models contiguous RDMA (Eq. 7), the AM fall-back (Eq. 8), and
+strided zero-copy (Eq. 9) in LogGP terms. This bench fits the model's
+constants from the machine parameters and checks the simulated protocols
+track the closed forms.
+"""
+
+import pytest
+
+from _report import save
+
+from repro.armci import ArmciConfig
+from repro.bench import contiguous_latency_sweep
+from repro.bench.strided import strided_bandwidth_sweep
+from repro.machine import BGQParams
+from repro.model import LogGPModel
+from repro.util import MB, bytes_fmt, render_table, us
+
+SIZES = tuple(2**k for k in range(8, 21, 2))
+
+
+def _model() -> LogGPModel:
+    p = BGQParams()
+    # o: per-message processor/injection overhead; L: fixed latency of the
+    # adjacent-node get path (request + completion + dispatch); G: wire.
+    o = p.message_pipeline_overhead
+    dispatch = p.advance_poll_time + p.context_lock_overhead
+    L = (
+        p.get_request_overhead
+        + 2 * p.hop_latency
+        + p.get_completion_delay
+        + dispatch
+    )
+    return LogGPModel(o=o, L=L, G=p.byte_time)
+
+
+def test_eq7_rdma_model_tracks_simulation(benchmark):
+    model = _model()
+
+    def run():
+        return contiguous_latency_sweep(sizes=SIZES, op="get")
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for size, simulated in rows:
+        predicted = model.t_rdma(size)
+        error = abs(simulated - predicted) / simulated
+        assert error < 0.10, (size, simulated, predicted)
+        table.append(
+            [bytes_fmt(size), f"{us(simulated):.2f}", f"{us(predicted):.2f}",
+             f"{error * 100:.1f}%"]
+        )
+    save(
+        "eq7_rdma_model",
+        render_table(
+            ["msg size", "simulated (us)", "Eq.7 model (us)", "error"],
+            table,
+            title="Eq. 7: T_rdma ~ o + L + (m-1)G vs simulated RDMA get",
+        ),
+    )
+
+
+def test_eq8_fallback_pays_extra_remote_overhead(benchmark):
+    def run():
+        rdma = contiguous_latency_sweep(sizes=SIZES, op="get")
+        fallback = contiguous_latency_sweep(
+            sizes=SIZES, op="get", config=ArmciConfig(use_rdma=False)
+        )
+        return rdma, fallback
+
+    rdma, fallback = benchmark.pedantic(run, rounds=1, iterations=1)
+    rdma_by, fb_by = dict(rdma), dict(fallback)
+    table = []
+    for size in SIZES:
+        extra = fb_by[size] - rdma_by[size]
+        # Eq. 8's extra o: the remote progress engine's handler time, a
+        # positive, roughly size-independent cost at small m.
+        assert extra > 0, size
+        table.append(
+            [bytes_fmt(size), f"{us(rdma_by[size]):.2f}",
+             f"{us(fb_by[size]):.2f}", f"{us(extra):.2f}"]
+        )
+    small_extras = [fb_by[s] - rdma_by[s] for s in SIZES[:3]]
+    assert max(small_extras) - min(small_extras) < 1e-6
+    save(
+        "eq8_fallback_model",
+        render_table(
+            ["msg size", "RDMA get (us)", "fall-back get (us)", "extra o (us)"],
+            table,
+            title="Eq. 8: the AM fall-back pays an extra remote o over Eq. 7",
+        ),
+    )
+
+
+def test_eq9_strided_model_tracks_simulation(benchmark):
+    model = _model()
+    chunks = tuple(2**k for k in range(11, 21, 2))
+
+    def run():
+        return strided_bandwidth_sweep(total_bytes=MB, chunk_sizes=chunks, op="put")
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for l0, bw in rows:
+        simulated_t = MB / (bw * 1e6)
+        predicted_t = model.t_strided(MB, l0)
+        error = abs(simulated_t - predicted_t) / simulated_t
+        assert error < 0.15, (l0, simulated_t, predicted_t)
+        table.append(
+            [bytes_fmt(l0), f"{us(simulated_t):.1f}", f"{us(predicted_t):.1f}",
+             f"{error * 100:.1f}%"]
+        )
+    save(
+        "eq9_strided_model",
+        render_table(
+            ["chunk l0", "simulated (us)", "Eq.9 model (us)", "error"],
+            table,
+            title="Eq. 9: T_strided ~ o*m/l0 + mG vs simulated zero-copy put (1 MB)",
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Figure 11: NWChem SCF (6 H2O, 644 basis functions), D vs AT.
+
+The paper's headline application result: on 1024-4096 processes the
+asynchronous-thread design cuts SCF execution time by up to 30%, with the
+time spent in load-balance counters collapsing.
+"""
+
+import os
+
+from _report import save
+
+from repro.apps.nwchem import ScfConfig
+from repro.bench.scf import scf_comparison
+from repro.util import render_table, us
+
+#: Paper process counts; REPRO_FIG11_SMALL=1 shrinks the grid for smoke runs.
+if os.environ.get("REPRO_FIG11_SMALL"):
+    PROC_COUNTS = (64, 128, 256)
+    SCF = ScfConfig(nblocks=24, task_time=2e-3, iterations=1, tasks_per_draw=2)
+else:
+    PROC_COUNTS = (1024, 2048, 4096)
+    SCF = ScfConfig(nblocks=128, task_time=6e-3, iterations=1, tasks_per_draw=2)
+
+
+def test_fig11_scf_default_vs_async_thread(benchmark):
+    rows = benchmark.pedantic(
+        scf_comparison,
+        kwargs={"proc_counts": PROC_COUNTS, "scf": SCF},
+        rounds=1,
+        iterations=1,
+    )
+
+    for cell in rows:
+        # AT always wins, with a meaningful (>=10%) reduction...
+        assert cell.improvement > 0.10, (cell.num_procs, cell.improvement)
+        # ...bounded by roughly the paper's band (not a 10x blowout).
+        assert cell.improvement < 0.55, (cell.num_procs, cell.improvement)
+        # The counter time collapses under AT (the paper's "reduces
+        # sharply").
+        assert cell.counter_time_reduction > 2.5, cell.num_procs
+        # All tasks executed exactly once in both runs.
+        assert cell.default.tasks_done == SCF.ntasks
+        assert cell.async_thread.tasks_done == SCF.ntasks
+
+    # Strong scaling: total time drops as processes increase.
+    at_times = [c.async_thread.total_time for c in rows]
+    assert at_times == sorted(at_times, reverse=True)
+
+    table = [
+        [
+            c.num_procs,
+            f"{c.default.total_time * 1e3:.1f}",
+            f"{c.async_thread.total_time * 1e3:.1f}",
+            f"{c.improvement * 100:.0f}%",
+            f"{us(c.default.counter_time_mean):.0f}",
+            f"{us(c.async_thread.counter_time_mean):.0f}",
+        ]
+        for c in rows
+    ]
+    save(
+        "fig11_scf",
+        render_table(
+            [
+                "procs",
+                "D total (ms)",
+                "AT total (ms)",
+                "AT gain",
+                "D counter/rank (us)",
+                "AT counter/rank (us)",
+            ],
+            table,
+            title=(
+                "Figure 11: SCF, 6 H2O / 644 bf "
+                f"({SCF.ntasks} tasks x {SCF.iterations} iter) — paper: "
+                "AT cuts execution time up to 30%, counter time collapses"
+            ),
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Figure 5: effective latency per byte (message-aggregation study)."""
+
+from _report import save
+
+from repro.bench import latency_per_byte
+from repro.util import bytes_fmt, render_table
+
+
+def test_fig5_latency_per_byte(benchmark):
+    rows = benchmark.pedantic(
+        latency_per_byte, rounds=1, iterations=1
+    )
+    by_size = dict(rows)
+    # Paper: beyond 4 KB the latency/byte is ~1 ns (aggregation pays off
+    # up to there).
+    assert by_size[4096] < 1.5
+    assert by_size[16384] < 1.0
+    assert by_size[1 << 20] < 0.7
+    # Small messages pay two orders of magnitude more per byte.
+    assert by_size[16] > 100 * by_size[1 << 20]
+
+    save(
+        "fig5_latency_per_byte",
+        render_table(
+            ["msg size", "latency/byte (ns)"],
+            [[bytes_fmt(s), f"{v:.3f}"] for s, v in rows],
+            title=(
+                "Figure 5: effective latency/byte (paper: ~1 ns beyond "
+                "4 KB; aggregate small messages)"
+            ),
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Figure 7: get latency vs process rank on the 2048-process partition."""
+
+import pytest
+
+from _report import save
+
+from repro.bench.rankscan import hop_latency_estimate, rank_latency_scan
+from repro.util import render_table, us
+
+
+def test_fig7_rank_latency_scan(benchmark):
+    results = benchmark.pedantic(
+        rank_latency_scan,
+        kwargs={"num_procs": 2048, "procs_per_node": 16, "rank_step": 1},
+        rounds=1,
+        iterations=1,
+    )
+    internode = [r for r in results if r.hops > 0]
+    lo = min(r.seconds for r in internode)
+    hi = max(r.seconds for r in internode)
+
+    # Paper anchors on the 2*2*4*4*2 partition: min 2.89 us, max 3.38 us,
+    # diameter 7, ~35 ns added per hop.
+    assert max(r.hops for r in results) == 7
+    assert lo == pytest.approx(2.89e-6, rel=0.02)
+    assert hi == pytest.approx(3.38e-6, rel=0.05)
+    assert hop_latency_estimate(results) == pytest.approx(35e-9, rel=0.05)
+
+    # Ranks at equal distance see equal latency (the oscillation's cause):
+    by_hops: dict[int, set[float]] = {}
+    for r in internode:
+        by_hops.setdefault(r.hops, set()).add(round(r.seconds * 1e12))
+    assert all(len(values) == 1 for values in by_hops.values())
+
+    rows = [
+        [
+            h,
+            sum(1 for r in internode if r.hops == h),
+            f"{us(next(r.seconds for r in internode if r.hops == h)):.3f}",
+        ]
+        for h in sorted(by_hops)
+    ]
+    same_node = [r for r in results if r.hops == 0]
+    summary = render_table(
+        ["hops", "ranks", "get latency (us)"],
+        rows,
+        title=(
+            "Figure 7: 16 B get latency vs rank, 2048 procs on 2x2x4x4x2 "
+            "(paper: 2.89-3.38 us, 35 ns/hop; "
+            f"{len(same_node)} same-node ranks excluded)"
+        ),
+    )
+    save(
+        "fig7_rank_latency",
+        summary
+        + f"\nderived per-hop latency: {hop_latency_estimate(results) * 1e9:.1f} ns"
+        + f"\nsame-node (shared-memory) latency: {us(same_node[0].seconds):.3f} us",
+    )

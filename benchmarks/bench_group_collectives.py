@@ -1,0 +1,85 @@
+"""Supplementary: software tree collectives on processor groups.
+
+Group collectives cannot use the partition-wide hardware barrier: they
+run as binomial trees over active messages. Two results: latency grows
+~log2(n) with group size (depth, not membership, sets the cost), and a
+late-arriving member delays the tree by its full lateness — collectives
+require participation, so asynchronous progress threads cannot mask
+stragglers (unlike the one-sided AMOs of Fig. 9).
+"""
+
+import math
+
+import pytest
+
+from _report import save
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.util import render_table, us
+
+
+def _allreduce_latency(group_size: int, config, members_compute: bool) -> float:
+    job = ArmciJob(16, procs_per_node=16, config=config)
+    job.init()
+    members = tuple(range(group_size))
+    out = {}
+
+    def body(rt):
+        group = rt.group(members)
+        if rt.rank not in members:
+            yield from rt.compute(1e-6)
+            return
+        yield from rt.group_allreduce(group, 1.0)  # warm-up round
+        if members_compute and rt.rank != 0:
+            # Members busy with application work; the tree must wait for
+            # their progress engines (or their async threads).
+            yield from rt.compute(200e-6)
+        t0 = rt.engine.now
+        result = yield from rt.group_allreduce(group, float(rt.rank))
+        assert result == float(sum(members))
+        if rt.rank == 0:
+            out["latency"] = rt.engine.now - t0
+
+    job.run(body)
+    return out["latency"]
+
+
+def test_group_allreduce_scaling_and_progress(benchmark):
+    def run():
+        sizes = (2, 4, 8, 16)
+        scaling = {
+            n: _allreduce_latency(n, ArmciConfig.async_thread_mode(), False)
+            for n in sizes
+        }
+        skewed = _allreduce_latency(8, ArmciConfig.async_thread_mode(), True)
+        return scaling, skewed
+
+    scaling, skewed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Tree depth: latency grows with log2(n) — the 16-member group costs
+    # ~4x the 2-member group (depth 4 vs 1), not the 8x a linear scheme
+    # would.
+    values = [scaling[n] for n in sorted(scaling)]
+    assert values == sorted(values)
+    assert scaling[16] <= 4.5 * scaling[2]
+    # A straggler computing 200 us delays the whole tree by ~that much:
+    # participation, not progress, is the collective's critical path.
+    assert skewed >= 200e-6
+    assert skewed < 200e-6 + 20 * scaling[8]
+
+    rows = [
+        [n, f"{math.log2(n):.0f}", f"{us(t):.2f}"]
+        for n, t in sorted(scaling.items())
+    ]
+    table = render_table(
+        ["group size", "tree depth", "allreduce (us)"],
+        rows,
+        title="Supplementary: software tree allreduce over process groups (AT)",
+    )
+    save(
+        "group_collectives",
+        table
+        + f"\nwith a 200 us straggler (n=8): {us(skewed):.1f} us — trees "
+        "wait for participants; async threads cannot mask collective "
+        "stragglers",
+    )

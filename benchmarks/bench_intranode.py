@@ -1,0 +1,70 @@
+"""Supplementary: intra-node vs inter-node paths (c = 1-16, Table II).
+
+The paper runs 1-16 processes per node; co-located ranks communicate
+through the L2 crossbar instead of the torus. This bench contrasts the
+two paths and checks the shared-memory model's basic sanity.
+"""
+
+import pytest
+
+from _report import save
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.util import bytes_fmt, render_table, us
+
+SIZES = (16, 1024, 65536)
+
+
+def _latency(num_procs, procs_per_node, dst):
+    job = ArmciJob(num_procs, procs_per_node=procs_per_node, config=ArmciConfig())
+    job.init()
+    out = {}
+
+    def body(rt):
+        alloc = yield from rt.malloc(max(SIZES))
+        if rt.rank == 0:
+            local = rt.world.space(0).allocate(max(SIZES))
+            yield from rt.get(dst, local, alloc.addr(dst), 16)  # warm
+            rows = {}
+            for size in SIZES:
+                t0 = rt.engine.now
+                yield from rt.get(dst, local, alloc.addr(dst), size)
+                rows[size] = rt.engine.now - t0
+            out["rows"] = rows
+        yield from rt.barrier()
+
+    job.run(body)
+    return out["rows"]
+
+
+def test_intranode_vs_internode_get(benchmark):
+    def run():
+        intra = _latency(16, 16, dst=1)   # same node (c=16)
+        inter = _latency(32, 16, dst=16)  # adjacent node
+        return intra, inter
+
+    intra, inter = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for size in SIZES:
+        # The crossbar path is always faster than the torus path...
+        assert intra[size] < inter[size], size
+    # ...dramatically so for small messages (no NIC round trip).
+    assert intra[16] < 0.5 * inter[16]
+    # Inter-node matches the Fig. 3 calibration.
+    assert inter[16] == pytest.approx(2.89e-6, rel=0.05)
+
+    rows = [
+        [bytes_fmt(s), f"{us(intra[s]):.2f}", f"{us(inter[s]):.2f}"]
+        for s in SIZES
+    ]
+    save(
+        "intranode",
+        render_table(
+            ["msg size", "same-node get (us)", "adjacent-node get (us)"],
+            rows,
+            title=(
+                "Supplementary: intra-node (L2 crossbar) vs inter-node "
+                "(torus) blocking get"
+            ),
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Tables I & II: PAMI attribute model and measured empirical values."""
+
+from _report import save
+
+from repro.model import ComplexityModel, table_ii_attributes
+from repro.bench.tables import table_i_rows, table_ii_rows
+from repro.util import render_table, us
+
+
+def test_table1_attributes(benchmark):
+    rows = benchmark.pedantic(table_i_rows, rounds=1, iterations=1)
+    assert len(rows) == 13
+    save(
+        "table1_attributes",
+        render_table(
+            ["#", "Property", "Symbol"],
+            rows,
+            title="Table I: PAMI time and space attributes",
+        ),
+    )
+
+
+def test_table2_empirical_values(benchmark):
+    rows = benchmark.pedantic(table_ii_rows, rounds=1, iterations=1)
+    by_symbol = {r[1]: r for r in rows}
+    # The measured simulation values must match the paper's Table II.
+    assert by_symbol["alpha"][3] == "4 B"
+    assert by_symbol["beta"][3] == "0.30 us"
+    assert by_symbol["gamma"][3] == "8 B"
+    assert by_symbol["delta"][3] == "43.0 us"
+    assert by_symbol["t_ctx"][3] == "3821 - 4271 us"
+    save(
+        "table2_empirical",
+        render_table(
+            ["Property", "Symbol", "Paper", "Measured (sim)"],
+            rows,
+            title="Table II: empirical values of time and space attributes",
+        ),
+    )
+
+
+def test_complexity_model_eqs_1_to_6(benchmark):
+    """Eqs. 1-6 evaluated at the paper's attribute ranges."""
+
+    def build():
+        rows = []
+        for zeta, sigma, tau, rho in [
+            (1, 1, 1, 1),
+            (1024, 3, 2, 1),
+            (4096, 7, 3, 2),
+        ]:
+            m = ComplexityModel(
+                table_ii_attributes(zeta=zeta, sigma=sigma, tau=tau, rho=rho)
+            )
+            rows.append(
+                [
+                    f"zeta={zeta} sigma={sigma} tau={tau} rho={rho}",
+                    m.context_space(),
+                    f"{us(m.context_time()):.0f}",
+                    m.endpoint_space(),
+                    f"{us(m.endpoint_time()):.1f}",
+                    m.memregion_space(),
+                    f"{us(m.memregion_time()):.0f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    # Strong-scaling point: region cache space grows to ~229 KB/proc at
+    # zeta=4096, sigma=7 — the motivation for the bounded LFU cache.
+    assert rows[2][5] == 7 * 4096 * 8 + 3 * 8
+    save(
+        "eqs1_6_complexity",
+        render_table(
+            [
+                "attributes",
+                "M_c (B)",
+                "T_c (us)",
+                "M_e (B)",
+                "T_e (us)",
+                "M_r (B)",
+                "T_r (us)",
+            ],
+            rows,
+            title="Eqs. 1-6: per-process setup space/time at paper attribute points",
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Supplementary: the pattern family under the full stack.
+
+NWChem's traffic has "little to no regularity" (Section IV-A); this
+bench contrasts the canonical patterns on identical op counts — and
+shows what hotspots cost once the link-contention extension is enabled.
+"""
+
+import pytest
+
+from _report import save
+
+from repro.armci import ArmciConfig
+from repro.util import render_table, us
+from repro.workloads import PatternConfig, run_workload
+
+PROCS = 32
+OPS = 12
+SIZE = 4096
+
+
+def test_pattern_family(benchmark):
+    def run():
+        out = {}
+        for pattern in ("neighbor", "uniform", "transpose", "hotspot", "nwchem"):
+            cfg = PatternConfig(pattern, num_ops=OPS, msg_size=SIZE)
+            out[pattern] = run_workload(
+                PROCS, cfg, ArmciConfig.async_thread_mode(), procs_per_node=16
+            )
+        cfg = PatternConfig("hotspot", num_ops=OPS, msg_size=SIZE)
+        out["hotspot+contention"] = run_workload(
+            PROCS, cfg, ArmciConfig.async_thread_mode(),
+            procs_per_node=16, link_contention=True,
+        )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Locality wins: neighbor (mostly same-node at 16/node) beats uniform.
+    assert out["neighbor"].simulated_time < out["uniform"].simulated_time
+    # The hot server serializes: hotspot is the slowest healthy pattern.
+    for pattern in ("neighbor", "uniform", "transpose"):
+        assert out["hotspot"].simulated_time > out[pattern].simulated_time
+    # Link contention makes the hotspot strictly worse, never better.
+    assert (
+        out["hotspot+contention"].simulated_time
+        >= out["hotspot"].simulated_time
+    )
+
+    rows = [
+        [
+            name,
+            f"{us(r.simulated_time):.1f}",
+            f"{r.throughput_mbps:.0f}",
+            f"{us(r.comm_time_total / PROCS):.1f}",
+        ]
+        for name, r in out.items()
+    ]
+    save(
+        "workload_patterns",
+        render_table(
+            ["pattern", "makespan (us)", "aggregate MB/s", "comm/rank (us)"],
+            rows,
+            title=(
+                f"Supplementary: communication patterns, {PROCS} ranks x "
+                f"{OPS} ops x {SIZE} B (AT mode)"
+            ),
+        ),
+    )

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Distributed dgemm and conflicting-memory-access tracking.
+
+The paper's Section III-E example: ``C = A . B`` with all three matrices
+block-distributed. Worker tasks *read* A and B and *accumulate* into C —
+different distributed structures. The naive per-target tracker
+(``cs_tgt``) cannot tell them apart, so every density read after a C
+update fences spuriously; the proposed per-memory-region tracker
+(``cs_mr``) eliminates those false positives while producing the exact
+same numerical result.
+
+Run:  python examples/dgemm_trackers.py
+"""
+
+import numpy as np
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.gax import GlobalArray, Patch, SharedCounter, parallel_dgemm
+from repro.util.units import us
+
+N = 32          # matrix dimension
+BLOCK = 8       # task block size
+PROCS = 4
+
+
+def run(tracker: str, a: np.ndarray, b: np.ndarray):
+    job = ArmciJob(
+        PROCS,
+        procs_per_node=PROCS,
+        config=ArmciConfig(consistency_tracker=tracker),
+    )
+    job.init()
+    t0 = job.engine.now
+
+    def body(rt):
+        ga_a = yield from GlobalArray.create(rt, (N, N), name="A")
+        ga_b = yield from GlobalArray.create(rt, (N, N), name="B")
+        ga_c = yield from GlobalArray.create(rt, (N, N), name="C")
+        counter = yield from SharedCounter.create(rt)
+        ga_c.fill(rt, 0.0)
+        yield from rt.barrier()
+        if rt.rank == 0:
+            yield from ga_a.put(rt, Patch(0, N, 0, N), a)
+            yield from ga_b.put(rt, Patch(0, N, 0, N), b)
+            yield from rt.fence_all()
+        yield from rt.barrier()
+        done = yield from parallel_dgemm(rt, ga_a, ga_b, ga_c, counter, BLOCK)
+        result = None
+        if rt.rank == 0:
+            result = yield from ga_c.to_numpy(rt)
+        yield from rt.barrier()
+        return done, result
+
+    results = job.run(body)
+    c = results[0][1]
+    elapsed = job.engine.now - t0
+    return c, elapsed, job.trace
+
+
+def main() -> None:
+    rng = np.random.default_rng(2013)
+    a = rng.standard_normal((N, N))
+    b = rng.standard_normal((N, N))
+    reference = a @ b
+
+    print(f"C = A.B, {N}x{N} doubles, {BLOCK}x{BLOCK} task blocks, {PROCS} ranks\n")
+    for tracker in ("cs_tgt", "cs_mr"):
+        c, elapsed, trace = run(tracker, a, b)
+        err = float(np.max(np.abs(c - reference)))
+        print(
+            f"{tracker}: simulated {us(elapsed):10.1f} us   "
+            f"forced fences={trace.count('armci.fences_forced'):4d}   "
+            f"avoided={trace.count('armci.fences_avoided'):4d}   "
+            f"max |err| = {err:.2e}"
+        )
+    print(
+        "\nsame bits out of both trackers - cs_mr just stops paying for "
+        "synchronization\nbetween reads of A/B and updates of C "
+        "(Section III-E's dgemm argument)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Halo exchange with strided datatypes — a stencil-code communication
+pattern (the paper's Section III-C.2 workload).
+
+A 2D domain is block-distributed over a process grid; every iteration
+each rank writes its boundary rows/columns into its neighbors' ghost
+regions with one-sided strided puts. Column halos are tall-skinny
+(chunk = 8 bytes), the case the paper routes through the typed-datatype
+path; row halos are single contiguous chunks.
+
+The example runs the same exchange under the proposed zero-copy protocol
+and the legacy pack/unpack protocol and compares simulated times.
+
+Run:  python examples/strided_halo.py
+"""
+
+import numpy as np
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.types import StridedDescriptor, StridedShape
+from repro.util.units import us
+
+#: Local tile size (interior, excluding the one-cell ghost ring).
+TILE = 64
+#: Process grid (ranks = GRID * GRID).
+GRID = 2
+#: Exchange iterations.
+ITERS = 5
+
+F64 = 8
+WIDTH = TILE + 2  # tile plus ghost ring
+
+
+def run(config: ArmciConfig, label: str, busy: float = 0.0) -> tuple[float, float]:
+    """Returns (total simulated time, mean per-rank fence stall)."""
+    # One rank per node so halos cross the torus network.
+    job = ArmciJob(GRID * GRID, procs_per_node=1, config=config)
+    job.init()
+    t_start = job.engine.now
+    checks = []
+    fence_stalls = []
+
+    def body(rt):
+        # Each rank's tile with ghost ring, row-major float64.
+        alloc = yield from rt.malloc(WIDTH * WIDTH * F64)
+        tile = (
+            rt.world.space(rt.rank)
+            .view(alloc.addr(rt.rank), WIDTH * WIDTH * F64)
+            .view(np.float64)
+            .reshape(WIDTH, WIDTH)
+        )
+        tile[1:-1, 1:-1] = float(rt.rank + 1)
+        yield from rt.barrier()
+
+        gi, gj = divmod(rt.rank, GRID)
+        north = ((gi - 1) % GRID) * GRID + gj
+        south = ((gi + 1) % GRID) * GRID + gj
+        west = gi * GRID + (gj - 1) % GRID
+        east = gi * GRID + (gj + 1) % GRID
+
+        def addr_of(rank, row, col):
+            return alloc.addr(rank) + (row * WIDTH + col) * F64
+
+        row_desc = StridedDescriptor(StridedShape(TILE * F64), (), ())
+        col_desc = StridedDescriptor(
+            StridedShape(F64, (TILE,)), (WIDTH * F64,), (WIDTH * F64,)
+        )
+
+        for _ in range(ITERS):
+            # A stencil sweep on the interior, skewed per rank, runs
+            # before the exchange: fast ranks post halos into neighbors
+            # that are still computing. In default mode nothing services
+            # a computing rank's progress engine, which stalls protocols
+            # needing remote progress (pack/unpack), but not RDMA.
+            if busy > 0.0:
+                yield from rt.compute(busy * (rt.rank + 1))
+            # My first interior row -> north neighbor's bottom ghost row.
+            yield from rt.puts(
+                north, addr_of(rt.rank, 1, 1), addr_of(north, WIDTH - 1, 1), row_desc
+            )
+            # My last interior row -> south neighbor's top ghost row.
+            yield from rt.puts(
+                south, addr_of(rt.rank, TILE, 1), addr_of(south, 0, 1), row_desc
+            )
+            # My first interior column -> west neighbor's right ghost col
+            # (tall-skinny: TILE chunks of 8 bytes).
+            yield from rt.puts(
+                west, addr_of(rt.rank, 1, 1), addr_of(west, 1, WIDTH - 1), col_desc
+            )
+            # My last interior column -> east neighbor's left ghost col.
+            yield from rt.puts(
+                east, addr_of(rt.rank, 1, TILE), addr_of(east, 1, 0), col_desc
+            )
+            t_fence = rt.engine.now
+            yield from rt.fence_all()
+            fence_stalls.append(rt.engine.now - t_fence)
+            yield from rt.barrier()
+
+        # Verify: our ghost ring carries the neighbors' rank colors.
+        checks.append(
+            tile[0, 1] == north + 1
+            and tile[WIDTH - 1, 1] == south + 1
+            and tile[1, 0] == west + 1
+            and tile[1, WIDTH - 1] == east + 1
+        )
+
+    job.run(body)
+    elapsed = job.engine.now - t_start
+    zero_copy = job.trace.count("armci.puts_strided_zero_copy")
+    typed = job.trace.count("armci.puts_strided_typed")
+    pack = job.trace.count("armci.puts_strided_pack")
+    assert all(checks), "halo data corrupted"
+    mean_stall = sum(fence_stalls) / len(fence_stalls)
+    print(
+        f"{label:28s} simulated {us(elapsed):9.1f} us  "
+        f"fence stall {us(mean_stall):7.2f} us  "
+        f"(zero-copy={zero_copy} typed={typed} pack={pack})"
+    )
+    return elapsed, mean_stall
+
+
+def main() -> None:
+    print(f"halo exchange: {GRID}x{GRID} ranks, {TILE}x{TILE} tiles, {ITERS} iters")
+    print("\n-- idle ranks (pure exchange) --")
+    t_auto, _ = run(
+        ArmciConfig(strided_protocol="auto", tall_skinny_threshold=128),
+        "auto (zero-copy + typed)",
+    )
+    t_zero, _ = run(ArmciConfig(strided_protocol="zero_copy"), "zero-copy only")
+    t_pack, _ = run(ArmciConfig(strided_protocol="pack"), "legacy pack/unpack")
+    print(
+        f"\n  typed path saves {t_zero / t_auto:.2f}x over per-chunk RDMA on "
+        "the tall-skinny column halos;\n  legacy pack looks fine on idle "
+        "ranks — its cost is hidden until targets compute:"
+    )
+    print("\n-- skewed compute (rank r sweeps for (r+1)*100 us per iter) --")
+    _, s_auto = run(
+        ArmciConfig(strided_protocol="auto", tall_skinny_threshold=128),
+        "auto (zero-copy + typed)",
+        busy=100e-6,
+    )
+    _, s_pack = run(
+        ArmciConfig(strided_protocol="pack"), "legacy pack/unpack", busy=100e-6
+    )
+    print(
+        f"\n  fence stalls: pack/unpack {us(s_pack):.1f} us vs RDMA "
+        f"{us(s_auto):.2f} us — fast ranks wait for busy\n  neighbors' "
+        "progress engines to unpack, while RDMA halos land NIC-side during\n"
+        "  the neighbors' compute (Section III-C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Subsurface plume transport on a global array (STOMP-style workload).
+
+Advection-diffusion of a contaminant blob across a block-distributed
+field: every timestep each rank pulls one-cell halo strips from its
+neighbors with one-sided GA gets (contiguous row strips + tall-skinny
+column strips — the strided-datatype mix of Section III-C.2) and updates
+its block. The parallel field is verified against a sequential solve.
+
+Run:  python examples/transport_plume.py
+"""
+
+import numpy as np
+
+from repro.apps.transport import TransportConfig, reference_solve, run_transport
+from repro.armci import ArmciConfig
+
+CFG = TransportConfig(
+    nx=48, ny=48, diffusivity=0.08, vx=0.5, vy=0.2, dt=0.1, steps=30
+)
+PROCS = 16
+
+
+def ascii_field(u: np.ndarray, width: int = 48) -> str:
+    """Coarse ASCII rendering of the plume."""
+    shades = " .:-=+*#%@"
+    step = max(1, u.shape[0] // 16)
+    peak = u.max() or 1.0
+    lines = []
+    for row in u[::step]:
+        cells = row[:: max(1, u.shape[1] // width)]
+        lines.append(
+            "".join(shades[min(int(v / peak * (len(shades) - 1)), 9)] for v in cells)
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(
+        f"plume transport: {CFG.nx}x{CFG.ny} grid, {CFG.steps} steps, "
+        f"{PROCS} ranks (one-sided halo reads)\n"
+    )
+    result = run_transport(PROCS, CFG, ArmciConfig.async_thread_mode())
+    expected = reference_solve(CFG)
+    err = float(np.max(np.abs(result.final - expected)))
+
+    print("initial plume:")
+    from repro.apps.transport.solver import initial_condition
+
+    print(ascii_field(initial_condition(CFG)))
+    print(f"\nafter {CFG.steps} steps (advected along +x/+y, diffused):")
+    print(ascii_field(result.final))
+    print(
+        f"\nsimulated wall time {result.simulated_time * 1e3:.2f} ms, "
+        f"{result.halo_get_count} one-sided halo reads, "
+        f"max |parallel - sequential| = {err:.2e}"
+    )
+    print(
+        f"mass: {result.mass_initial:.3f} -> {result.mass_final:.3f} "
+        "(open boundary; central-difference advection is not exactly "
+        "conservative)"
+    )
+
+
+if __name__ == "__main__":
+    main()

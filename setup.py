@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (the offline environment lacks `wheel`,
+which PEP 660 editable installs require).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,1 @@
+"""Application proxies built on the PGAS stack."""

@@ -1,0 +1,26 @@
+"""NWChem Self-Consistent-Field proxy (Section IV-C).
+
+Reproduces the *runtime behaviour* of NWChem's SCF module on Global
+Arrays: the Fock-matrix construction is dynamically load-balanced with a
+shared fetch-and-add counter (``nxtask``); each task gets density-matrix
+patches, computes two-electron contributions, and accumulates into the
+Fock matrix (Fig. 10's algorithm).
+
+The chemistry itself is abstracted into per-task compute times — what the
+paper's evaluation measures is the *communication subsystem* under this
+load, in default (D) vs asynchronous-thread (AT) configurations (Fig. 11).
+"""
+
+from .molecule import WaterCluster, basis_function_count
+from .tasks import FockTask, fock_task_list
+from .scf import ScfConfig, ScfResult, run_scf
+
+__all__ = [
+    "FockTask",
+    "ScfConfig",
+    "ScfResult",
+    "WaterCluster",
+    "basis_function_count",
+    "fock_task_list",
+    "run_scf",
+]

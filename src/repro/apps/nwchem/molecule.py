@@ -1,0 +1,112 @@
+"""Water-cluster geometries and basis-set bookkeeping.
+
+The paper's SCF evaluation uses 6 water molecules with 644 basis
+functions — a reduced version of the 24-water Gordon Bell input (Apra et
+al., SC'09). We generate physically reasonable cluster geometries and
+count basis functions per element; the exact 644 of the paper's input
+deck (which is not an even multiple of 6 molecules) is available through
+an explicit override in :class:`~repro.apps.nwchem.scf.ScfConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ReproError
+
+#: Basis-set sizes: element symbol -> contracted basis functions.
+BASIS_SETS: dict[str, dict[str, int]] = {
+    # 6-31G**: O = 15 functions, H = 5.
+    "6-31G**": {"O": 15, "H": 5},
+    # aug-cc-pVDZ (the Gordon Bell paper's basis): O = 23, H = 9.
+    "aug-cc-pVDZ": {"O": 23, "H": 9},
+    # cc-pVTZ: O = 30, H = 14.
+    "cc-pVTZ": {"O": 30, "H": 14},
+}
+
+#: O-H bond length (Angstrom) and H-O-H angle (degrees) of water.
+OH_BOND = 0.9572
+HOH_ANGLE_DEG = 104.52
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom: element symbol and position in Angstrom."""
+
+    symbol: str
+    position: tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class WaterCluster:
+    """``n`` water molecules on a cubic lattice (~2.9 A O-O spacing)."""
+
+    n_molecules: int
+
+    def __post_init__(self) -> None:
+        if self.n_molecules < 1:
+            raise ReproError(
+                f"cluster needs >= 1 molecule, got {self.n_molecules}"
+            )
+
+    @property
+    def atoms(self) -> list[Atom]:
+        """All atoms, three per molecule (O, H, H)."""
+        theta = np.deg2rad(HOH_ANGLE_DEG) / 2.0
+        h1 = (OH_BOND * np.sin(theta), OH_BOND * np.cos(theta), 0.0)
+        h2 = (-OH_BOND * np.sin(theta), OH_BOND * np.cos(theta), 0.0)
+        spacing = 2.9  # liquid-water-like O-O distance
+        per_side = int(np.ceil(self.n_molecules ** (1.0 / 3.0)))
+        atoms: list[Atom] = []
+        placed = 0
+        for ix in range(per_side):
+            for iy in range(per_side):
+                for iz in range(per_side):
+                    if placed >= self.n_molecules:
+                        break
+                    ox, oy, oz = ix * spacing, iy * spacing, iz * spacing
+                    atoms.append(Atom("O", (ox, oy, oz)))
+                    atoms.append(Atom("H", (ox + h1[0], oy + h1[1], oz + h1[2])))
+                    atoms.append(Atom("H", (ox + h2[0], oy + h2[1], oz + h2[2])))
+                    placed += 1
+        return atoms
+
+    @property
+    def n_atoms(self) -> int:
+        return 3 * self.n_molecules
+
+    @property
+    def n_electrons(self) -> int:
+        """10 electrons per water."""
+        return 10 * self.n_molecules
+
+    def nbf(self, basis: str) -> int:
+        """Total basis functions under ``basis``."""
+        return basis_function_count(self.atoms, basis)
+
+
+def basis_function_count(atoms: list[Atom], basis: str) -> int:
+    """Sum per-element basis-function counts over ``atoms``.
+
+    Raises
+    ------
+    ReproError
+        If the basis or an element is unknown.
+    """
+    try:
+        table = BASIS_SETS[basis]
+    except KeyError:
+        raise ReproError(
+            f"unknown basis {basis!r}; available: {sorted(BASIS_SETS)}"
+        ) from None
+    total = 0
+    for atom in atoms:
+        try:
+            total += table[atom.symbol]
+        except KeyError:
+            raise ReproError(
+                f"basis {basis!r} has no functions for element {atom.symbol!r}"
+            ) from None
+    return total

@@ -1,0 +1,18 @@
+"""Subsurface-transport proxy (the paper's other Global Arrays domain).
+
+The paper cites sub-surface modeling (STOMP) alongside chemistry as a
+Global Arrays application domain (Section II-B). This proxy solves 2D
+advection-diffusion on a block-distributed field with one-sided halo
+reads — a structured-grid workload whose communication is exactly the
+uniformly non-contiguous datatype of Section III-C.2 (row halos are
+contiguous, column halos are tall-skinny strided patches).
+"""
+
+from .solver import TransportConfig, TransportResult, reference_solve, run_transport
+
+__all__ = [
+    "TransportConfig",
+    "TransportResult",
+    "reference_solve",
+    "run_transport",
+]

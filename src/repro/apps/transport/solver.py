@@ -1,0 +1,170 @@
+"""Explicit advection-diffusion solver over a global array.
+
+``u' = u + dt * (D lap(u) - vx du/dx - vy du/dy)`` with fixed (zero)
+boundaries, forward Euler, central differences. Each rank owns one block
+and reads one-cell halo strips from its neighbors with one-sided GA gets
+every step; the parallel result is bit-identical to the sequential
+reference because the per-element arithmetic is the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...armci.config import ArmciConfig
+from ...armci.runtime import ArmciJob
+from ...errors import ReproError
+from ...gax.array import GlobalArray
+from ...gax.distribution import Patch
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Advection-diffusion problem setup."""
+
+    nx: int = 64
+    ny: int = 64
+    diffusivity: float = 0.1
+    vx: float = 0.4
+    vy: float = -0.2
+    dt: float = 0.1
+    steps: int = 20
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise ReproError(f"grid must be at least 3x3, got {self.nx}x{self.ny}")
+        if self.steps < 1:
+            raise ReproError(f"steps must be >= 1, got {self.steps}")
+        # CFL-ish sanity so tests run stable configurations.
+        if self.dt * (4 * self.diffusivity + abs(self.vx) + abs(self.vy)) >= 1.0:
+            raise ReproError("time step too large for explicit stability")
+
+
+@dataclass
+class TransportResult:
+    """Outcome of a parallel transport run."""
+
+    final: np.ndarray
+    simulated_time: float
+    halo_get_count: int
+    mass_initial: float
+    mass_final: float
+
+
+def initial_condition(cfg: TransportConfig) -> np.ndarray:
+    """Gaussian blob off-center (deterministic)."""
+    y, x = np.mgrid[0 : cfg.nx, 0 : cfg.ny]
+    cx, cy = cfg.nx / 3.0, cfg.ny / 3.0
+    sigma2 = (min(cfg.nx, cfg.ny) / 8.0) ** 2
+    return np.exp(-((x - cy) ** 2 + (y - cx) ** 2) / (2 * sigma2))
+
+
+def _step(u: np.ndarray, halo: np.ndarray, cfg: TransportConfig) -> np.ndarray:
+    """One explicit update of the interior of ``halo`` (u with ghosts).
+
+    ``halo`` is ``u`` padded by one cell on every side; returns the new
+    block values for ``u``'s extent.
+    """
+    c = halo[1:-1, 1:-1]
+    north = halo[:-2, 1:-1]
+    south = halo[2:, 1:-1]
+    west = halo[1:-1, :-2]
+    east = halo[1:-1, 2:]
+    lap = north + south + west + east - 4 * c
+    dudx = (south - north) / 2.0  # x = row direction
+    dudy = (east - west) / 2.0
+    return c + cfg.dt * (cfg.diffusivity * lap - cfg.vx * dudx - cfg.vy * dudy)
+
+
+def reference_solve(cfg: TransportConfig) -> np.ndarray:
+    """Sequential reference: the whole grid on one numpy array."""
+    u = initial_condition(cfg)
+    for _ in range(cfg.steps):
+        halo = np.zeros((cfg.nx + 2, cfg.ny + 2))
+        halo[1:-1, 1:-1] = u
+        u = u.copy()
+        u[:] = _step(u, halo, cfg)
+        # Fixed zero boundaries: the rim recomputed with zero ghosts is
+        # already consistent because halo's rim is zero.
+    return u
+
+
+def run_transport(
+    num_procs: int,
+    cfg: TransportConfig,
+    armci_config: ArmciConfig | None = None,
+    procs_per_node: int = 16,
+) -> TransportResult:
+    """Parallel solve over ``num_procs`` simulated ranks."""
+    job = ArmciJob(
+        num_procs,
+        config=armci_config if armci_config is not None else ArmciConfig(),
+        procs_per_node=min(procs_per_node, num_procs),
+    )
+    job.init()
+    t0 = job.engine.now
+    u0 = initial_condition(cfg)
+    collected: dict[int, np.ndarray] = {}
+
+    def body(rt):
+        ga = yield from GlobalArray.create(rt, (cfg.nx, cfg.ny), name="u")
+        block = ga.dist.owner_block(rt.rank)
+        local = ga.local_block(rt)
+        local[:] = u0[block.row_lo : block.row_hi, block.col_lo : block.col_hi]
+        yield from rt.barrier()
+
+        nrows, ncols = block.shape
+        for _ in range(cfg.steps):
+            halo = np.zeros((nrows + 2, ncols + 2))
+            halo[1:-1, 1:-1] = local
+            # One-sided reads of the four neighbor strips (grid edges
+            # keep their zero ghosts: fixed boundaries).
+            if block.row_lo > 0:
+                strip = yield from ga.get(
+                    rt, Patch(block.row_lo - 1, block.row_lo, block.col_lo, block.col_hi)
+                )
+                halo[0, 1:-1] = strip[0]
+            if block.row_hi < cfg.nx:
+                strip = yield from ga.get(
+                    rt, Patch(block.row_hi, block.row_hi + 1, block.col_lo, block.col_hi)
+                )
+                halo[-1, 1:-1] = strip[0]
+            if block.col_lo > 0:
+                strip = yield from ga.get(
+                    rt, Patch(block.row_lo, block.row_hi, block.col_lo - 1, block.col_lo)
+                )
+                halo[1:-1, 0] = strip[:, 0]
+            if block.col_hi < cfg.ny:
+                strip = yield from ga.get(
+                    rt, Patch(block.row_lo, block.row_hi, block.col_hi, block.col_hi + 1)
+                )
+                halo[1:-1, -1] = strip[:, 0]
+            # Everyone has read old values before anyone writes new ones.
+            yield from rt.barrier()
+            local[:] = _step(local, halo, cfg)
+            yield from rt.barrier()
+
+        collected[rt.rank] = local.copy()
+        yield from rt.barrier()
+
+    job.run(body)
+
+    # Reassemble the field from per-rank blocks (host-side gather).
+    from ...gax.distribution import BlockDistribution, default_process_grid
+
+    final = np.zeros((cfg.nx, cfg.ny))
+    grid = default_process_grid(num_procs)
+    dist = BlockDistribution(cfg.nx, cfg.ny, grid[0], grid[1])
+    for rank, data in collected.items():
+        blk = dist.owner_block(rank)
+        final[blk.row_lo : blk.row_hi, blk.col_lo : blk.col_hi] = data
+
+    return TransportResult(
+        final=final,
+        simulated_time=job.engine.now - t0,
+        halo_get_count=job.trace.count("gax.gets"),
+        mass_initial=float(u0.sum()),
+        mass_final=float(final.sum()),
+    )

@@ -1,0 +1,27 @@
+"""ARMCI on Blue Gene/Q — the paper's core contribution.
+
+The Aggregate Remote Memory Copy Interface re-implemented over the
+simulated PAMI layer, with every design element of Section III:
+
+- contiguous get/put mapped to RDMA through a memory-region cache with LFU
+  replacement and active-message miss service, plus an AM fall-back when
+  regions are unavailable (III-B, III-C.1);
+- uniformly non-contiguous (strided) transfers as lists of non-blocking
+  RDMA ops (zero-copy), with the legacy pack/unpack protocol as a baseline
+  and a typed-datatype path for tall-skinny patches (III-C.2);
+- asynchronous progress threads servicing AMOs, accumulates, and non-RDMA
+  gets, with a second PAMI context to avoid lock contention (III-D);
+- location consistency with either the naive per-target tracker
+  (``cs_tgt``) or the proposed per-memory-region tracker (``cs_mr``)
+  (III-E).
+
+Entry point: :class:`ArmciJob` builds a simulated job;
+:class:`ArmciProcess` is the per-rank API (all calls are generators run as
+simulated processes).
+"""
+
+from .config import ArmciConfig
+from .handles import Handle
+from .runtime import ArmciJob, ArmciProcess
+
+__all__ = ["ArmciConfig", "ArmciJob", "ArmciProcess", "Handle"]

@@ -1,0 +1,126 @@
+"""Collective synchronization.
+
+Blue Gene/Q integrates a hardware barrier/collective network with the
+torus (Section II-A), so barriers do not ride the AM path. ARMCI barrier
+semantics additionally require the waiting thread to keep the progress
+engine moving — which is exactly how a default-mode (no async thread)
+process manages to service remote AMOs while it sits in a barrier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import ArmciError
+from ..sim.engine import Engine
+from ..sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import ArmciProcess
+
+
+class HardwareBarrier:
+    """The partition's hardware barrier network.
+
+    All ranks must arrive before the release fires, ``latency`` after the
+    last arrival. Rounds are implicit: a rank can only re-arrive after
+    being released, so one in-flight event per round suffices.
+    """
+
+    def __init__(self, engine: Engine, num_procs: int, latency: float) -> None:
+        if num_procs < 1:
+            raise ArmciError(f"barrier needs >= 1 participant, got {num_procs}")
+        self.engine = engine
+        self.num_procs = num_procs
+        self.latency = latency
+        self._arrived: set[int] = set()
+        self._event: Event | None = None
+        self.rounds_completed = 0
+
+    def arrive(self, rank: int = -1) -> Event:
+        """Register ``rank``'s arrival; wait on the returned event.
+
+        Raises
+        ------
+        ArmciError
+            If the same rank arrives twice in one round (a collective
+            protocol violation).
+        """
+        if not self._arrived:
+            self._event = self.engine.event("hw_barrier")
+        if rank >= 0 and rank in self._arrived:
+            raise ArmciError(
+                f"rank {rank} entered the barrier twice in one round"
+            )
+        self._arrived.add(rank if rank >= 0 else -1 - len(self._arrived))
+        event = self._event
+        assert event is not None
+        if len(self._arrived) == self.num_procs:
+            self._arrived.clear()
+            self.rounds_completed += 1
+            self.engine.schedule(self.latency, lambda _a: event.succeed())
+        return event
+
+
+def barrier(rt: "ArmciProcess") -> Generator[Any, Any, None]:
+    """ARMCI barrier: hardware sync + progress while waiting."""
+    release = rt.job.hw_barrier.arrive(rt.rank)
+    yield from rt.main_context.wait_with_progress(release)
+    rt.trace.incr("armci.barriers")
+
+
+class ReductionBoard:
+    """Software allreduce scratchpad (models the hardware collective net).
+
+    Rounds are explicit: each rank deposits into its current round, a
+    barrier guarantees completeness, then every rank collects. A round's
+    storage is reclaimed once all ranks have collected it, so back-to-back
+    reductions never race.
+    """
+
+    def __init__(self, num_procs: int) -> None:
+        self.num_procs = num_procs
+        self._rounds: dict[int, dict[int, float]] = {}
+        self._collected: dict[int, int] = {}
+        self._rank_round: dict[int, int] = {}
+
+    def deposit(self, rank: int, value: float) -> int:
+        """Deposit for this rank's next round; returns the round id."""
+        rnd = self._rank_round.get(rank, 0)
+        self._rank_round[rank] = rnd + 1
+        values = self._rounds.setdefault(rnd, {})
+        if rank in values:
+            raise ArmciError(f"rank {rank} deposited twice in round {rnd}")
+        values[rank] = value
+        return rnd
+
+    def collect(self, rnd: int, op: str) -> float:
+        """Reduce round ``rnd``; storage reclaimed after the last collector."""
+        values = self._rounds.get(rnd)
+        if values is None or len(values) != self.num_procs:
+            have = 0 if values is None else len(values)
+            raise ArmciError(
+                f"round {rnd} incomplete: {have}/{self.num_procs} deposits"
+            )
+        vals = list(values.values())
+        if op == "sum":
+            result = float(sum(vals))
+        elif op == "max":
+            result = float(max(vals))
+        elif op == "min":
+            result = float(min(vals))
+        else:
+            raise ArmciError(f"unknown reduction op {op!r}")
+        self._collected[rnd] = self._collected.get(rnd, 0) + 1
+        if self._collected[rnd] == self.num_procs:
+            del self._rounds[rnd]
+            del self._collected[rnd]
+        return result
+
+
+def allreduce(rt: "ArmciProcess", value: float, op: str = "sum") -> Generator[Any, Any, float]:
+    """Allreduce over all ranks (hardware collective network model)."""
+    board = rt.job.reduction_board
+    rnd = board.deposit(rt.rank, value)
+    yield from barrier(rt)
+    return board.collect(rnd, op)

@@ -1,0 +1,94 @@
+"""ARMCI runtime configuration knobs.
+
+Every design alternative evaluated in the paper is a switch here, so the
+benchmarks can run the same workload under "default (D)" vs "asynchronous
+thread (AT)", ``cs_tgt`` vs ``cs_mr``, RDMA vs fall-back, and the strided
+protocol variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArmciError
+
+#: Valid consistency-tracker names (Section III-E).
+TRACKERS = ("cs_tgt", "cs_mr")
+#: Valid strided-protocol names (Section III-C.2).
+STRIDED_PROTOCOLS = ("zero_copy", "pack", "auto")
+
+
+@dataclass(frozen=True)
+class ArmciConfig:
+    """Configuration of one ARMCI job.
+
+    Parameters
+    ----------
+    async_thread:
+        ``True`` = the paper's AT design: a dedicated SMT thread per
+        process advances the progress context continuously. ``False`` =
+        default (D): progress happens only when the main thread blocks in
+        ARMCI calls.
+    num_contexts:
+        PAMI contexts per process (rho). With ``async_thread`` and
+        ``rho=2`` the async thread owns its own context, eliminating lock
+        contention with the main thread (Section III-D).
+    use_rdma:
+        Enable the RDMA fast path. Disabled, every transfer takes the
+        active-message fall-back (useful to measure Eq. 7 vs Eq. 8).
+    consistency_tracker:
+        ``"cs_mr"`` (proposed, per-memory-region) or ``"cs_tgt"`` (naive,
+        per-target).
+    region_cache_capacity:
+        Remote memory-region cache entries per process (LFU replacement).
+        ``None`` = unbounded.
+    strided_protocol:
+        ``"zero_copy"`` (proposed), ``"pack"`` (legacy baseline), or
+        ``"auto"`` (zero-copy, switching to the PAMI typed-datatype path
+        for tall-skinny chunks).
+    tall_skinny_threshold:
+        Chunk sizes (bytes) strictly below this use the typed-datatype
+        path under ``strided_protocol="auto"``.
+    """
+
+    async_thread: bool = False
+    num_contexts: int = 1
+    use_rdma: bool = True
+    consistency_tracker: str = "cs_mr"
+    region_cache_capacity: int | None = None
+    strided_protocol: str = "zero_copy"
+    tall_skinny_threshold: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_contexts < 1:
+            raise ArmciError(f"need >= 1 context, got {self.num_contexts}")
+        if self.consistency_tracker not in TRACKERS:
+            raise ArmciError(
+                f"unknown tracker {self.consistency_tracker!r}; "
+                f"valid: {TRACKERS}"
+            )
+        if self.strided_protocol not in STRIDED_PROTOCOLS:
+            raise ArmciError(
+                f"unknown strided protocol {self.strided_protocol!r}; "
+                f"valid: {STRIDED_PROTOCOLS}"
+            )
+        if self.region_cache_capacity is not None and self.region_cache_capacity < 1:
+            raise ArmciError(
+                f"region cache capacity must be >= 1 or None, got "
+                f"{self.region_cache_capacity}"
+            )
+        if self.tall_skinny_threshold < 0:
+            raise ArmciError(
+                f"tall_skinny_threshold must be >= 0, got "
+                f"{self.tall_skinny_threshold}"
+            )
+
+    @classmethod
+    def default_mode(cls, **overrides) -> "ArmciConfig":
+        """The paper's 'D' configuration (no async thread)."""
+        return cls(async_thread=False, num_contexts=1, **overrides)
+
+    @classmethod
+    def async_thread_mode(cls, **overrides) -> "ArmciConfig":
+        """The paper's 'AT' configuration (async thread, two contexts)."""
+        return cls(async_thread=True, num_contexts=2, **overrides)

@@ -1,0 +1,30 @@
+"""Active-message dispatch ids used by the ARMCI protocols."""
+
+from __future__ import annotations
+
+#: Remote memory-region cache miss service (Section III-B).
+REGION_QUERY = 1
+#: Contiguous get fall-back: request data from the target (Section III-C.1).
+GET_REQUEST = 2
+#: Contiguous put fall-back: deliver payload through the progress engine.
+PUT_REQUEST = 3
+#: Atomic accumulate (associative, serviced by the progress engine).
+ACC_REQUEST = 4
+#: Strided pack/unpack legacy protocol: packed payload + unpack directive.
+STRIDED_PACKED_PUT = 5
+#: Strided pack/unpack legacy protocol: get request (target packs).
+STRIDED_PACKED_GET = 6
+#: Mutex acquire request (queued at the owner).
+LOCK_REQUEST = 7
+#: Mutex release.
+UNLOCK_REQUEST = 8
+#: General I/O-vector packed put.
+VECTOR_PUT = 9
+#: General I/O-vector packed get request.
+VECTOR_GET = 10
+#: Pairwise notify (ordered behind prior puts).
+NOTIFY = 11
+#: Software tree-collective message (process groups).
+GROUP_MESSAGE = 12
+#: Two-sided tag-matched message (repro.mpilike comparison layer).
+MPILIKE_MESSAGE = 13

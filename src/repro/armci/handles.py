@@ -1,0 +1,66 @@
+"""Non-blocking request handles.
+
+ARMCI supports explicit handles (user waits on a specific request) and
+implicit handles (the runtime tracks them; ``wait_all``/fence completes
+them), with MPI-style buffer-reuse semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import HandleError
+from ..pami.faults import check_completion
+from ..sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import ArmciProcess
+
+
+class Handle:
+    """Tracks local completion of one non-blocking ARMCI request.
+
+    A request may expand to several PAMI operations (strided transfers
+    post one per chunk); the handle completes when all do.
+    """
+
+    def __init__(self, owner: "ArmciProcess", kind: str) -> None:
+        self.owner = owner
+        self.kind = kind
+        self._events: list[Event] = []
+        self._waited = False
+
+    def add_event(self, event: Event) -> None:
+        """Attach one PAMI local-completion event."""
+        if self._waited:
+            raise HandleError(f"{self.kind} handle extended after wait")
+        self._events.append(event)
+
+    @property
+    def num_ops(self) -> int:
+        """Number of underlying PAMI operations."""
+        return len(self._events)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every underlying operation locally completed."""
+        return all(ev.triggered for ev in self._events)
+
+    def wait(self):
+        """Generator: block (with progress) until local completion.
+
+        Raises
+        ------
+        HandleError
+            If waited twice (handles are single-use, as in ARMCI).
+        """
+        if self._waited:
+            raise HandleError(f"double wait on {self.kind} handle")
+        self._waited = True
+        ctx = self.owner.main_context
+        for ev in self._events:
+            if not ev.triggered:
+                yield from ctx.wait_with_progress(ev)
+            # Failure tokens surface as ProcessFailedError (FT extension).
+            check_completion(ev.value)
+        self.owner.on_handle_complete(self)

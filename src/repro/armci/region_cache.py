@@ -1,0 +1,94 @@
+"""Remote memory-region cache with LFU replacement.
+
+Caching a remote region handle for every (structure, peer) pair costs
+``sigma * zeta * gamma`` bytes (Eq. 5) — prohibitive under strong scaling
+where zeta approaches p on a memory-limited machine. The proposed design
+bounds the cache and serves misses with an active message to the region's
+owner, evicting the **least frequently used** entry (Section III-B).
+"""
+
+from __future__ import annotations
+
+from ..errors import ArmciError
+from ..pami.memregion import MemoryRegion
+from ..sim.trace import Trace
+
+#: Cache key: (owner_rank, any address inside the region is resolved by
+#: the owner; we key on the region's base address).
+CacheKey = tuple[int, int]
+
+
+class RegionCache:
+    """Bounded LFU cache of remote :class:`MemoryRegion` handles."""
+
+    def __init__(self, capacity: int | None, trace: Trace) -> None:
+        if capacity is not None and capacity < 1:
+            raise ArmciError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.trace = trace
+        # owner rank -> {base address -> region}; regions per owner rarely
+        # exceed sigma (1-7, Table II), so the per-owner scan is short.
+        self._by_owner: dict[int, dict[int, MemoryRegion]] = {}
+        self._size = 0
+        self._freq: dict[CacheKey, int] = {}
+        # Monotone insertion counter for deterministic LFU tie-breaking.
+        self._age: dict[CacheKey, int] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def lookup(self, owner: int, addr: int, nbytes: int) -> MemoryRegion | None:
+        """Cached region of ``owner`` covering ``[addr, addr+nbytes)``."""
+        regions = self._by_owner.get(owner)
+        if regions:
+            for region in regions.values():
+                if region.covers(addr, nbytes):
+                    self._freq[(owner, region.base)] += 1
+                    self.trace.incr("armci.region_cache_hits")
+                    return region
+        self.trace.incr("armci.region_cache_misses")
+        return None
+
+    def insert(self, region: MemoryRegion) -> None:
+        """Add a region handle fetched from its owner, evicting LFU."""
+        key = (region.rank, region.base)
+        regions = self._by_owner.setdefault(region.rank, {})
+        if region.base in regions:
+            self._freq[key] += 1
+            return
+        if self.capacity is not None and self._size >= self.capacity:
+            self._evict()
+        regions[region.base] = region
+        self._size += 1
+        self._freq[key] = 1
+        self._clock += 1
+        self._age[key] = self._clock
+
+    def _evict(self) -> None:
+        victim = min(self._freq, key=lambda k: (self._freq[k], self._age[k]))
+        owner, base = victim
+        # Keep empty per-owner dicts: an in-flight insert may still hold a
+        # reference to one.
+        del self._by_owner[owner][base]
+        self._size -= 1
+        del self._freq[victim]
+        del self._age[victim]
+        self.trace.incr("armci.region_cache_evictions")
+
+    def invalidate(self, owner: int, base: int) -> None:
+        """Drop a cached handle (the region was destroyed at its owner)."""
+        regions = self._by_owner.get(owner)
+        if regions is not None and base in regions:
+            del regions[base]
+            self._size -= 1
+            del self._freq[(owner, base)]
+            del self._age[(owner, base)]
+
+    def frequency(self, owner: int, base: int) -> int:
+        """Access count of a cached entry (0 if absent)."""
+        return self._freq.get((owner, base), 0)
+
+    def space_bytes(self, gamma: int) -> int:
+        """Current cache footprint: entries * gamma (Eq. 5 second term)."""
+        return self._size * gamma

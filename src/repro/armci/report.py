@@ -1,0 +1,88 @@
+"""Human-readable runtime reports from a job's trace.
+
+``job.report()`` summarizes what the communication subsystem actually did
+— protocol selections, cache behaviour, progress-engine work, fences —
+grouped the way the paper discusses them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..util.formatting import render_table
+from ..util.units import us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import ArmciJob
+
+#: (section, counter key, human label) rows; zero-valued rows are elided.
+_COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
+    ("protocols", "armci.put_rdma", "RDMA puts"),
+    ("protocols", "armci.get_rdma", "RDMA gets"),
+    ("protocols", "armci.put_fallback", "fall-back puts (AM)"),
+    ("protocols", "armci.get_fallback", "fall-back gets (AM)"),
+    ("protocols", "armci.puts_strided_zero_copy", "strided puts (zero-copy)"),
+    ("protocols", "armci.gets_strided_zero_copy", "strided gets (zero-copy)"),
+    ("protocols", "armci.puts_strided_typed", "strided puts (typed)"),
+    ("protocols", "armci.gets_strided_typed", "strided gets (typed)"),
+    ("protocols", "armci.puts_strided_pack", "strided puts (pack)"),
+    ("protocols", "armci.gets_strided_pack", "strided gets (pack)"),
+    ("protocols", "armci.putv_zero_copy", "vector puts (zero-copy)"),
+    ("protocols", "armci.getv_zero_copy", "vector gets (zero-copy)"),
+    ("protocols", "armci.putv_typed", "vector puts (typed/aggregated)"),
+    ("protocols", "armci.putv_pack", "vector puts (pack)"),
+    ("protocols", "armci.getv_pack", "vector gets (pack)"),
+    ("protocols", "armci.accs", "accumulates"),
+    ("protocols", "armci.rmws", "read-modify-writes"),
+    ("aggregation", "armci.aggregate_staged", "fragments staged"),
+    ("aggregation", "armci.aggregate_flushes", "aggregate flushes"),
+    ("caches", "armci.endpoints_created", "endpoints created"),
+    ("caches", "armci.endpoint_cache_hits", "endpoint cache hits"),
+    ("caches", "armci.region_cache_hits", "region cache hits"),
+    ("caches", "armci.region_cache_misses", "region cache misses"),
+    ("caches", "armci.region_cache_evictions", "region cache evictions"),
+    ("synchronization", "armci.fences", "fences"),
+    ("synchronization", "armci.fences_forced", "fences forced by reads"),
+    ("synchronization", "armci.fences_avoided", "fences avoided (cs_mr)"),
+    ("synchronization", "armci.barriers", "barriers"),
+    ("synchronization", "armci.locks_acquired", "mutex acquisitions"),
+    ("synchronization", "armci.notifies_sent", "notifications sent"),
+    ("progress", "pami.items_serviced", "progress items serviced"),
+    ("progress", "armci.async_thread_serviced", "items by async threads"),
+    ("progress", "pami.rmw_serviced", "AMOs serviced"),
+    ("network", "net.put.messages", "put messages"),
+    ("network", "net.get.messages", "get messages"),
+    ("network", "net.am.messages", "active messages"),
+    ("network", "net.control.messages", "control packets"),
+)
+
+
+def runtime_report(job: "ArmciJob") -> str:
+    """Render the job's counters grouped by subsystem."""
+    trace = job.trace
+    rows = []
+    for section, key, label in _COUNTER_LAYOUT:
+        value = trace.count(key)
+        if value:
+            rows.append([section, label, value])
+    bytes_moved = (
+        trace.count("net.put.bytes")
+        + trace.count("net.get.bytes")
+        + trace.count("net.am.bytes")
+    )
+    rows.append(["network", "payload bytes moved", bytes_moved])
+    rows.append(
+        ["time", "rmw wait (all ranks)", f"{us(trace.time('armci.rmw_wait_time')):.1f} us"]
+    )
+    rows.append(
+        ["time", "compute (all ranks)", f"{us(trace.time('armci.compute_time')):.1f} us"]
+    )
+    rows.append(
+        ["time", "simulated clock", f"{us(job.engine.now):.1f} us"]
+    )
+    return render_table(
+        ["subsystem", "metric", "value"],
+        rows,
+        title=f"ARMCI runtime report: {job.num_procs} procs, "
+        f"{'AT' if job.config.async_thread else 'D'} mode",
+    )

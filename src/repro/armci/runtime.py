@@ -1,0 +1,769 @@
+"""The ARMCI job and per-process runtime (the public API facade).
+
+:class:`ArmciJob` assembles a simulated job: the PAMI world, one
+:class:`ArmciProcess` per rank, the hardware barrier, and the collective
+allocation directory. :class:`ArmciProcess` exposes the ARMCI-style API —
+``put/get/acc`` (contiguous and strided), ``rmw``, ``fence``, ``barrier``,
+``lock/unlock`` — as generators executed by simulated processes::
+
+    job = ArmciJob(num_procs=16, config=ArmciConfig.async_thread_mode())
+    job.init()
+
+    def body(rt):
+        alloc = yield from rt.malloc(4096)
+        yield from rt.put(dst=1, ...)
+        old = yield from rt.rmw(0, counter_addr, "fetch_add", 1)
+
+    job.run(body)
+
+Implementation note: active-message headers carry live Event/context
+references as reply cookies. On real hardware these are 8-byte handles in
+the packet header; the in-process references model exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from ..errors import ArmciError, ResourceExhaustedError
+from ..machine.bgq import BGQParams
+from ..pami.atomics import rmw as pami_rmw
+from ..pami.context import PamiContext
+from ..pami.faults import check_completion
+from ..pami.world import PamiWorld
+from ..sim.event import Event
+from ..sim.primitives import Delay
+from ..types import StridedDescriptor
+from . import accumulate as _acc
+from . import collectives as _coll
+from . import contiguous as _cont
+from . import dispatch as _disp
+from . import groups as _groups
+from . import locks as _locks
+from . import notify as _notify
+from . import strided as _str
+from . import vector as _vec
+from .config import ArmciConfig
+from .consistency import make_tracker
+from .endpoints import EndpointCache
+from .handles import Handle
+from .locks import MutexTable
+from .progress import start_async_thread
+from .region_cache import RegionCache
+
+#: Consistency-tracker key for writes/reads on unregistered memory.
+UNREGISTERED_KEY_BASE = -1
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of a collective ARMCI allocation.
+
+    Attributes
+    ----------
+    alloc_id:
+        Collective allocation sequence number.
+    nbytes:
+        Per-rank segment size.
+    addresses:
+        Base address of the segment on every rank.
+    registered:
+        Per-rank flag: whether RDMA registration succeeded there.
+    """
+
+    alloc_id: int
+    nbytes: int
+    addresses: dict[int, int]
+    registered: dict[int, bool]
+
+    def addr(self, rank: int) -> int:
+        """Base address of the segment on ``rank``."""
+        try:
+            return self.addresses[rank]
+        except KeyError:
+            raise ArmciError(
+                f"allocation {self.alloc_id} has no segment on rank {rank}"
+            ) from None
+
+
+class AllocationDirectory:
+    """Job-wide record of collective allocations (the address exchange)."""
+
+    def __init__(self, num_procs: int) -> None:
+        self.num_procs = num_procs
+        self._pending: dict[int, dict[int, tuple[int, bool]]] = {}
+        self._sizes: dict[int, int] = {}
+
+    def record(
+        self, alloc_id: int, rank: int, addr: int, nbytes: int, registered: bool
+    ) -> None:
+        entry = self._pending.setdefault(alloc_id, {})
+        if rank in entry:
+            raise ArmciError(
+                f"rank {rank} recorded allocation {alloc_id} twice"
+            )
+        known = self._sizes.setdefault(alloc_id, nbytes)
+        if known != nbytes:
+            raise ArmciError(
+                f"collective malloc mismatch: allocation {alloc_id} has "
+                f"sizes {known} and {nbytes}"
+            )
+        entry[rank] = (addr, registered)
+
+    def allocation(self, alloc_id: int) -> Allocation:
+        entry = self._pending.get(alloc_id)
+        if entry is None or len(entry) != self.num_procs:
+            have = 0 if entry is None else len(entry)
+            raise ArmciError(
+                f"allocation {alloc_id} incomplete: {have}/{self.num_procs}"
+            )
+        return Allocation(
+            alloc_id,
+            self._sizes[alloc_id],
+            {r: a for r, (a, _reg) in entry.items()},
+            {r: reg for r, (_a, reg) in entry.items()},
+        )
+
+
+class ArmciJob:
+    """One simulated ARMCI job."""
+
+    def __init__(
+        self,
+        num_procs: int,
+        config: ArmciConfig | None = None,
+        procs_per_node: int = 16,
+        params: BGQParams | None = None,
+        world: PamiWorld | None = None,
+        max_regions: int | None = None,
+        nic_amo_support: bool = False,
+        link_contention: bool = False,
+    ) -> None:
+        self.config = config if config is not None else ArmciConfig()
+        if world is None:
+            world = PamiWorld(
+                num_procs,
+                procs_per_node=procs_per_node,
+                params=params,
+                max_regions=max_regions,
+                nic_amo_support=nic_amo_support,
+                link_contention=link_contention,
+            )
+        self.world = world
+        self.engine = world.engine
+        self.trace = world.trace
+        self.hw_barrier = _coll.HardwareBarrier(
+            self.engine, num_procs, world.params.collective_barrier_latency
+        )
+        self.reduction_board = _coll.ReductionBoard(num_procs)
+        self.directory = AllocationDirectory(num_procs)
+        self.processes = [ArmciProcess(self, r) for r in range(num_procs)]
+        self._initialized = False
+
+    @property
+    def num_procs(self) -> int:
+        """Total process count."""
+        return self.world.num_procs
+
+    def rt(self, rank: int) -> "ArmciProcess":
+        """Per-rank runtime handle."""
+        return self.processes[rank]
+
+    def init(self) -> None:
+        """Collectively initialize every rank (contexts, handlers, threads).
+
+        Runs the initialization inside the simulation, so setup costs
+        (Eqs. 1-6) are charged to simulated time.
+        """
+        if self._initialized:
+            raise ArmciError("job already initialized")
+        procs = [
+            self.engine.spawn(rt._init_body(), name=f"armci.init.r{rt.rank}")
+            for rt in self.processes
+        ]
+        self.engine.run_until_complete(procs)
+        self._initialized = True
+
+    def report(self) -> str:
+        """Human-readable summary of what the runtime did (non-generator)."""
+        from .report import runtime_report
+
+        return runtime_report(self)
+
+    def run(
+        self, body_fn: Callable[["ArmciProcess"], Generator], ranks=None
+    ) -> list[Any]:
+        """Run ``body_fn(rt)`` as the main thread of each listed rank."""
+        if not self._initialized:
+            raise ArmciError("call job.init() before job.run()")
+        if ranks is None:
+            ranks = range(self.num_procs)
+        procs = [
+            self.engine.spawn(body_fn(self.processes[r]), name=f"main.r{r}")
+            for r in ranks
+        ]
+        return self.engine.run_until_complete(procs)
+
+
+class ArmciProcess:
+    """Per-rank ARMCI runtime and public API (all methods are generators
+    unless documented otherwise)."""
+
+    def __init__(self, job: ArmciJob, rank: int) -> None:
+        self.job = job
+        self.rank = rank
+        self.world = job.world
+        self.engine = job.engine
+        self.trace = job.trace
+        self.config = job.config
+        self.client = self.world.client(rank)
+        params = self.world.params
+        self.endpoints = EndpointCache(rank, params.endpoint_create_time, self.trace)
+        self.region_cache = RegionCache(job.config.region_cache_capacity, self.trace)
+        self.tracker = make_tracker(job.config.consistency_tracker)
+        self.mutexes = MutexTable()
+        self.notify_board = _notify.NotifyBoard()
+        self.async_thread = None
+        # Outstanding remote-completion acks per destination (for fences).
+        self._pending_acks: dict[int, list[Event]] = {}
+        self._implicit_handles: set[Handle] = set()
+        self._next_alloc_id = 0
+
+    # ------------------------------------------------------------- setup
+
+    @property
+    def main_context(self) -> PamiContext:
+        """Context 0: the main thread's communication context."""
+        return self.client.context(0)
+
+    def _init_body(self) -> Generator[Any, Any, None]:
+        for _ in range(self.config.num_contexts):
+            yield from self.client.create_context()
+        self._register_handlers()
+        if self.config.async_thread:
+            start_async_thread(self)
+        yield from _coll.barrier(self)
+
+    def _register_handlers(self) -> None:
+        c = self.client
+        c.register_dispatch(
+            _disp.REGION_QUERY,
+            lambda ctx, env: _cont.handle_region_query(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.GET_REQUEST,
+            lambda ctx, env: _cont.handle_get_request(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.PUT_REQUEST,
+            lambda ctx, env: _cont.handle_put_request(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.ACC_REQUEST,
+            lambda ctx, env: _acc.handle_acc_request(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.STRIDED_PACKED_PUT,
+            lambda ctx, env: _str.handle_strided_packed_put(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.STRIDED_PACKED_GET,
+            lambda ctx, env: _str.handle_strided_packed_get(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.LOCK_REQUEST,
+            lambda ctx, env: _locks.handle_lock_request(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.UNLOCK_REQUEST,
+            lambda ctx, env: _locks.handle_unlock_request(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.VECTOR_PUT,
+            lambda ctx, env: _vec.handle_vector_put(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.VECTOR_GET,
+            lambda ctx, env: _vec.handle_vector_get(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.NOTIFY,
+            lambda ctx, env: _notify.handle_notify(self, ctx, env),
+        )
+        c.register_dispatch(
+            _disp.GROUP_MESSAGE,
+            lambda ctx, env: _groups.handle_group_message(self, ctx, env),
+        )
+        from ..mpilike import msg as _msg
+
+        c.register_dispatch(
+            _disp.MPILIKE_MESSAGE,
+            lambda ctx, env: _msg.handle_message(self, ctx, env),
+        )
+
+    # ------------------------------------------------------ bookkeeping
+
+    def track_write_ack(self, dst: int, ack: Event) -> None:
+        """Record an outstanding write's remote-completion ack (non-gen).
+
+        Already-completed acks are pruned opportunistically so a
+        long-running producer that rarely fences keeps bounded state.
+        """
+        acks = self._pending_acks.setdefault(dst, [])
+        acks.append(ack)
+        if len(acks) > 128:
+            self._pending_acks[dst] = [ev for ev in acks if not ev.triggered]
+
+    def has_pending_writes(self, dst: int) -> bool:
+        """Whether un-fenced writes to ``dst`` were issued (non-generator).
+
+        Counts writes whose fence has not run yet even if their acks have
+        already arrived — this is what a cs_tgt tracker would fence on.
+        """
+        return bool(self._pending_acks.get(dst))
+
+    def on_handle_complete(self, handle: Handle) -> None:
+        """Handle-completion hook (non-generator)."""
+        self._implicit_handles.discard(handle)
+
+    def _new_handle(self, kind: str) -> Handle:
+        handle = Handle(self, kind)
+        self._implicit_handles.add(handle)
+        return handle
+
+    # ------------------------------------------------------- allocation
+
+    def malloc(self, nbytes: int) -> Generator[Any, Any, Allocation]:
+        """Collective allocation: every rank contributes one segment.
+
+        Registers the segment for RDMA (cost delta); registration failure
+        is recorded, not fatal — transfers to that rank fall back to AMs.
+        """
+        if nbytes <= 0:
+            raise ArmciError(f"allocation size must be positive, got {nbytes}")
+        alloc_id = self._next_alloc_id
+        self._next_alloc_id += 1
+        addr = self.world.space(self.rank).allocate(nbytes)
+        registered = False
+        if self.config.use_rdma:
+            try:
+                yield from self.world.regions[self.rank].create(addr, nbytes)
+                registered = True
+            except ResourceExhaustedError:
+                self.trace.incr("armci.malloc_region_failed")
+        self.job.directory.record(alloc_id, self.rank, addr, nbytes, registered)
+        yield from _coll.barrier(self)
+        return self.job.directory.allocation(alloc_id)
+
+    def free(self, alloc: Allocation) -> Generator[Any, Any, None]:
+        """Collectively release an allocation (ARMCI_Free).
+
+        Deregisters the local RDMA region, frees the segment, and —
+        after the closing barrier — drops any cached remote handles for
+        the allocation, so later accesses fail loudly instead of reading
+        freed memory.
+        """
+        addr = alloc.addr(self.rank)
+        registry = self.world.regions[self.rank]
+        region = registry.find(addr, alloc.nbytes)
+        if region is not None:
+            registry.destroy(region)
+        # Wait until every rank is done using the segment before freeing.
+        yield from _coll.barrier(self)
+        self.world.space(self.rank).free(addr)
+        for rank, base in alloc.addresses.items():
+            self.region_cache.invalidate(rank, base)
+        self.trace.incr("armci.frees")
+
+    # ------------------------------------------------- contiguous RMA
+
+    def _resolve_regions(
+        self, dst: int, local_addr: int, remote_addr: int, nbytes: int
+    ) -> Generator[Any, Any, tuple[Any, tuple[int, int]]]:
+        """Find RDMA regions; returns (remote_region|None, tracker_key)."""
+        remote_region = None
+        if self.config.use_rdma:
+            local_region = yield from _cont.ensure_local_region(
+                self, local_addr, nbytes
+            )
+            if local_region is not None:
+                remote_region = yield from _cont.resolve_remote_region(
+                    self, dst, remote_addr, nbytes
+                )
+        if remote_region is not None:
+            key = (dst, remote_region.base)
+        else:
+            key = (dst, UNREGISTERED_KEY_BASE)
+        return remote_region, key
+
+    def nbput(
+        self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
+        handle: Handle | None = None,
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking contiguous put (RDMA, else AM fall-back)."""
+        h = handle if handle is not None else self._new_handle("put")
+        yield from self.endpoints.get(dst)
+        remote_region, key = yield from self._resolve_regions(
+            dst, local_addr, remote_addr, nbytes
+        )
+        if remote_region is not None:
+            _cont.nbput_rdma(self, dst, local_addr, remote_addr, nbytes, remote_region, h)
+        else:
+            _cont.nbput_fallback(self, dst, local_addr, remote_addr, nbytes, h)
+        self.tracker.on_write(dst, key)
+        return h
+
+    def nbget(
+        self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
+        handle: Handle | None = None,
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking contiguous get.
+
+        Enforces location consistency: an outstanding conflicting write to
+        ``dst`` is fenced first. The tracker decides what "conflicting"
+        means — per target (``cs_tgt``) or per region (``cs_mr``).
+        """
+        h = handle if handle is not None else self._new_handle("get")
+        yield from self.endpoints.get(dst)
+        remote_region, key = yield from self._resolve_regions(
+            dst, local_addr, remote_addr, nbytes
+        )
+        yield from self._fence_if_conflicting(dst, key)
+        if remote_region is not None:
+            _cont.nbget_rdma(self, dst, local_addr, remote_addr, nbytes, remote_region, h)
+        else:
+            _cont.nbget_fallback(self, dst, local_addr, remote_addr, nbytes, h)
+        self.tracker.on_get(dst, key)
+        return h
+
+    def put(self, dst: int, local_addr: int, remote_addr: int, nbytes: int):
+        """Blocking contiguous put (local completion)."""
+        t0 = self.engine.now
+        h = yield from self.nbput(dst, local_addr, remote_addr, nbytes)
+        yield from h.wait()
+        self.trace.interval(f"r{self.rank}", "put", t0, self.engine.now)
+
+    def get(self, dst: int, local_addr: int, remote_addr: int, nbytes: int):
+        """Blocking contiguous get."""
+        t0 = self.engine.now
+        h = yield from self.nbget(dst, local_addr, remote_addr, nbytes)
+        yield from h.wait()
+        self.trace.interval(f"r{self.rank}", "get", t0, self.engine.now)
+
+    # --------------------------------------------------- strided RMA
+
+    def nbputs(
+        self, dst: int, local_base: int, remote_base: int,
+        desc: StridedDescriptor, handle: Handle | None = None,
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking strided put (protocol per config, Section III-C.2)."""
+        h = handle if handle is not None else self._new_handle("puts")
+        yield from self.endpoints.get(dst)
+        protocol = _str.select_strided_protocol(self, desc)
+        remote_region, key = None, (dst, UNREGISTERED_KEY_BASE)
+        if protocol in ("zero_copy", "typed"):
+            extent = max(desc.chunk_offsets("dst")) + desc.shape.chunk_bytes
+            remote_region, key = yield from self._resolve_regions(
+                dst, local_base, remote_base, extent
+            )
+            if remote_region is None:
+                protocol = "pack"  # regions unavailable: legacy protocol
+        if protocol == "zero_copy":
+            _str.nbput_strided_zero_copy(self, dst, local_base, remote_base, desc, h)
+        elif protocol == "typed":
+            _str.nbput_strided_typed(self, dst, local_base, remote_base, desc, h)
+        else:
+            _str.nbput_strided_pack(self, dst, local_base, remote_base, desc, h)
+        self.tracker.on_write(dst, key)
+        return h
+
+    def nbgets(
+        self, dst: int, local_base: int, remote_base: int,
+        desc: StridedDescriptor, handle: Handle | None = None,
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking strided get."""
+        h = handle if handle is not None else self._new_handle("gets")
+        yield from self.endpoints.get(dst)
+        protocol = _str.select_strided_protocol(self, desc)
+        remote_region, key = None, (dst, UNREGISTERED_KEY_BASE)
+        if protocol in ("zero_copy", "typed"):
+            extent = max(desc.chunk_offsets("dst")) + desc.shape.chunk_bytes
+            remote_region, key = yield from self._resolve_regions(
+                dst, local_base, remote_base, extent
+            )
+            if remote_region is None:
+                protocol = "pack"
+        yield from self._fence_if_conflicting(dst, key)
+        if protocol == "zero_copy":
+            _str.nbget_strided_zero_copy(self, dst, local_base, remote_base, desc, h)
+        elif protocol == "typed":
+            _str.nbget_strided_typed(self, dst, local_base, remote_base, desc, h)
+        else:
+            _str.nbget_strided_pack(self, dst, local_base, remote_base, desc, h)
+        self.tracker.on_get(dst, key)
+        return h
+
+    def puts(self, dst, local_base, remote_base, desc: StridedDescriptor):
+        """Blocking strided put."""
+        h = yield from self.nbputs(dst, local_base, remote_base, desc)
+        yield from h.wait()
+
+    def gets(self, dst, local_base, remote_base, desc: StridedDescriptor):
+        """Blocking strided get."""
+        h = yield from self.nbgets(dst, local_base, remote_base, desc)
+        yield from h.wait()
+
+    # ------------------------------------------------- I/O-vector RMA
+
+    def nbputv(
+        self, dst: int, vec: "_vec.IoVector", handle: Handle | None = None
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking general I/O-vector put (ARMCI_PutV)."""
+        h = handle if handle is not None else self._new_handle("putv")
+        yield from self.endpoints.get(dst)
+        remote_region, key = yield from self._resolve_vector_regions(dst, vec)
+        if remote_region is not None:
+            _vec.nbputv_zero_copy(self, dst, vec, h)
+        else:
+            _vec.nbputv_pack(self, dst, vec, h)
+        self.tracker.on_write(dst, key)
+        return h
+
+    def _resolve_vector_regions(
+        self, dst: int, vec: "_vec.IoVector"
+    ) -> Generator[Any, Any, tuple[Any, tuple[int, int]]]:
+        """Region resolution for I/O vectors: every local segment must be
+        registered and one remote region must cover the remote extent."""
+        remote_region = None
+        if self.config.use_rdma:
+            ok = yield from _vec.ensure_local_segments(self, vec)
+            if ok:
+                lo, extent = vec.remote_extent()
+                remote_region = yield from _cont.resolve_remote_region(
+                    self, dst, lo, extent
+                )
+        if remote_region is not None:
+            key = (dst, remote_region.base)
+        else:
+            key = (dst, UNREGISTERED_KEY_BASE)
+        return remote_region, key
+
+    def nbgetv(
+        self, dst: int, vec: "_vec.IoVector", handle: Handle | None = None
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking general I/O-vector get (ARMCI_GetV)."""
+        h = handle if handle is not None else self._new_handle("getv")
+        yield from self.endpoints.get(dst)
+        remote_region, key = yield from self._resolve_vector_regions(dst, vec)
+        yield from self._fence_if_conflicting(dst, key)
+        if remote_region is not None:
+            _vec.nbgetv_zero_copy(self, dst, vec, h)
+        else:
+            _vec.nbgetv_pack(self, dst, vec, h)
+        self.tracker.on_get(dst, key)
+        return h
+
+    def nbputv_aggregated(
+        self, dst: int, vec: "_vec.IoVector", handle: Handle | None = None
+    ) -> Generator[Any, Any, Handle]:
+        """Vector put as **one** wire message (the aggregation path).
+
+        Used by :class:`~repro.armci.aggregate.AggregateHandle`: pays
+        Eq. 7's per-message overhead once for the whole fragment batch
+        (typed-datatype transfer when RDMA is usable, packed AM
+        otherwise).
+        """
+        h = handle if handle is not None else self._new_handle("aggputv")
+        yield from self.endpoints.get(dst)
+        remote_region, key = yield from self._resolve_vector_regions(dst, vec)
+        if remote_region is not None:
+            _vec.nbputv_typed(self, dst, vec, h)
+        else:
+            _vec.nbputv_pack(self, dst, vec, h)
+        self.tracker.on_write(dst, key)
+        return h
+
+    def aggregate(self, dst: int):
+        """Open an :class:`AggregateHandle` for small puts to ``dst``
+        (non-generator; stage with ``.put(...)``, ship with
+        ``yield from handle.flush()``)."""
+        from .aggregate import AggregateHandle
+
+        return AggregateHandle(self, dst)
+
+    def putv(self, dst: int, vec: "_vec.IoVector"):
+        """Blocking I/O-vector put."""
+        h = yield from self.nbputv(dst, vec)
+        yield from h.wait()
+
+    def getv(self, dst: int, vec: "_vec.IoVector"):
+        """Blocking I/O-vector get."""
+        h = yield from self.nbgetv(dst, vec)
+        yield from h.wait()
+
+    # ------------------------------------------------------ accumulate
+
+    def nbacc(
+        self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
+        scale: float = 1.0, handle: Handle | None = None,
+    ) -> Generator[Any, Any, Handle]:
+        """Non-blocking atomic accumulate (float64)."""
+        h = handle if handle is not None else self._new_handle("acc")
+        yield from self.endpoints.get(dst)
+        # Accumulates target registered structures when possible, for the
+        # same tracker key a get of that structure would use.
+        key = (dst, UNREGISTERED_KEY_BASE)
+        if self.config.use_rdma:
+            region = self.region_cache.lookup(dst, remote_addr, nbytes)
+            if region is None:
+                region = yield from _cont.resolve_remote_region(
+                    self, dst, remote_addr, nbytes
+                )
+            if region is not None:
+                key = (dst, region.base)
+        _acc.nbacc(self, dst, local_addr, remote_addr, nbytes, scale, h)
+        self.tracker.on_write(dst, key)
+        return h
+
+    def acc(self, dst, local_addr, remote_addr, nbytes, scale: float = 1.0):
+        """Blocking (locally complete) accumulate."""
+        h = yield from self.nbacc(dst, local_addr, remote_addr, nbytes, scale)
+        yield from h.wait()
+
+    # ------------------------------------------------------------ AMOs
+
+    def rmw(
+        self, dst: int, addr: int, op: str, operand: int = 0, operand2: int = 0
+    ) -> Generator[Any, Any, int]:
+        """Blocking read-modify-write; returns the old value.
+
+        Serviced by the target's progress engine (no NIC AMOs on BG/Q) —
+        the primitive behind load-balance counters, and the reason the
+        asynchronous-thread design exists.
+        """
+        yield from self.endpoints.get(dst, self.world.client(dst).num_contexts - 1)
+        t0 = self.engine.now
+        pending = pami_rmw(self.main_context, dst, addr, op, operand, operand2)
+        old = yield from self.main_context.wait_with_progress(pending.event)
+        check_completion(old)
+        self.trace.add_time("armci.rmw_wait_time", self.engine.now - t0)
+        self.trace.interval(f"r{self.rank}", "counter", t0, self.engine.now)
+        self.trace.incr("armci.rmws")
+        return old
+
+    # ------------------------------------------------- synchronization
+
+    def _fence_if_conflicting(self, dst: int, key) -> Generator[Any, Any, None]:
+        if self.tracker.needs_fence(dst, key):
+            self.trace.incr("armci.fences_forced")
+            yield from self.fence(dst)
+        elif self.has_pending_writes(dst):
+            # Outstanding writes exist but touch other structures: the
+            # cs_mr tracker's win over cs_tgt.
+            self.trace.incr("armci.fences_avoided")
+
+    def fence(self, dst: int) -> Generator[Any, Any, None]:
+        """Wait until all writes to ``dst`` are remotely complete."""
+        t0 = self.engine.now
+        acks = self._pending_acks.pop(dst, [])
+        ctx = self.main_context
+        for ack in acks:
+            if not ack.triggered:
+                yield from ctx.wait_with_progress(ack)
+            check_completion(ack.value)
+        self.tracker.on_fence(dst)
+        self.trace.incr("armci.fences")
+        self.trace.interval(f"r{self.rank}", "fence", t0, self.engine.now)
+
+    def fence_all(self) -> Generator[Any, Any, None]:
+        """Fence every destination with outstanding writes."""
+        for dst in list(self._pending_acks):
+            yield from self.fence(dst)
+
+    def wait_all(self) -> Generator[Any, Any, None]:
+        """Wait for local completion of all implicit non-blocking requests."""
+        for handle in list(self._implicit_handles):
+            if not handle.complete:
+                yield from handle.wait()
+            else:
+                self._implicit_handles.discard(handle)
+
+    def barrier(self) -> Generator[Any, Any, None]:
+        """Collective barrier (hardware network + progress while waiting)."""
+        t0 = self.engine.now
+        yield from _coll.barrier(self)
+        self.trace.interval(f"r{self.rank}", "barrier", t0, self.engine.now)
+
+    def allreduce(self, value: float, op: str = "sum") -> Generator[Any, Any, float]:
+        """Collective allreduce over all ranks."""
+        return (yield from _coll.allreduce(self, value, op))
+
+    # ----------------------------------------------------------- groups
+
+    def group(self, members) -> "_groups.ProcessGroup":
+        """Create a processor-group handle (non-generator)."""
+        return _groups.ProcessGroup(tuple(members))
+
+    def group_barrier(self, group) -> Generator[Any, Any, None]:
+        """Software tree barrier over a processor group."""
+        yield from _groups.group_barrier(self, group)
+
+    def group_allreduce(
+        self, group, value: float, op: str = "sum"
+    ) -> Generator[Any, Any, float]:
+        """Software tree allreduce over a processor group."""
+        return (yield from _groups.group_reduce_tree(self, group, value, op))
+
+    def group_broadcast(self, group, value, root_rank: int | None = None):
+        """Binomial broadcast over a processor group."""
+        return (yield from _groups.group_broadcast(self, group, value, root_rank))
+
+    # ----------------------------------------------------- notify/wait
+
+    def notify(self, dst: int) -> Generator[Any, Any, None]:
+        """Notify ``dst``; delivered after all prior puts to ``dst``."""
+        yield from _notify.notify(self, dst)
+
+    def notify_wait(self, src: int) -> Generator[Any, Any, None]:
+        """Wait for (and consume) one notification from ``src``."""
+        yield from _notify.notify_wait(self, src)
+
+    # ------------------------------------------------------------ locks
+
+    def lock(self, mutex_id: int) -> Generator[Any, Any, None]:
+        """Acquire a distributed ARMCI mutex."""
+        yield from _locks.lock(self, mutex_id)
+
+    def unlock(self, mutex_id: int) -> Generator[Any, Any, None]:
+        """Release a distributed ARMCI mutex."""
+        yield from _locks.unlock(self, mutex_id)
+
+    # --------------------------------------------------------- progress
+
+    def progress(self) -> Generator[Any, Any, int]:
+        """One explicit progress call (default-mode apps sprinkle these
+        between compute chunks).
+
+        Services the work pending *at entry* — like one
+        ``PAMI_Context_advance`` invocation — and returns to the caller
+        even if new requests keep arriving meanwhile. This boundedness is
+        why explicit progress cannot substitute for an async thread: the
+        queue refills during the next compute chunk (Fig. 9).
+        """
+        ctx = self.main_context
+        pending = len(ctx.queue)
+        return (yield from ctx.advance(max_items=max(pending, 1)))
+
+    def compute(self, seconds: float) -> Generator[Any, Any, None]:
+        """Model local computation: the main thread leaves the runtime.
+
+        In default mode *nothing* services this process's progress context
+        during compute — the exact pathology of Figs. 9 and 11.
+        """
+        if seconds < 0:
+            raise ArmciError(f"compute time must be >= 0, got {seconds}")
+        t0 = self.engine.now
+        yield Delay(seconds)
+        self.trace.add_time("armci.compute_time", seconds)
+        self.trace.interval(f"r{self.rank}", "compute", t0, self.engine.now)

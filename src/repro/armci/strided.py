@@ -1,0 +1,331 @@
+"""Uniformly non-contiguous (strided) datatype protocols (Section III-C.2).
+
+Three implementations:
+
+- **zero_copy** (proposed): post one non-blocking RDMA per contiguous
+  chunk, exploiting the network's messaging rate — Eq. 9,
+  ``T ~ o * m/l0 + m G``. No intermediate buffering, no flow control, no
+  remote progress.
+- **pack** (legacy baseline): pack chunks into a contiguous bounce buffer,
+  ship one active message, unpack in the target's progress engine.
+  Requires remote progress and double-copies every byte.
+- **typed** (for tall-skinny patches under ``strided_protocol="auto"``):
+  a single PAMI typed-datatype transfer whose NIC walks the chunk list;
+  per-chunk cost is a descriptor fetch, far below a full message overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ArmciError
+from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.context import CompletionItem, PamiContext, WorkItem
+from ..pami.rma import rdma_get, rdma_put
+from ..types import StridedDescriptor
+from .handles import Handle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import ArmciProcess
+
+
+def _gather(space, base: int, desc: StridedDescriptor, side: str) -> bytes:
+    """Pack all chunks of one side into contiguous bytes."""
+    chunk = desc.shape.chunk_bytes
+    return b"".join(
+        space.read(base + off, chunk) for off in desc.chunk_offsets(side)
+    )
+
+
+def _scatter(space, base: int, desc: StridedDescriptor, side: str, data: bytes) -> None:
+    """Unpack contiguous bytes into the chunk lattice of one side."""
+    chunk = desc.shape.chunk_bytes
+    for i, off in enumerate(desc.chunk_offsets(side)):
+        space.write(base + off, data[i * chunk : (i + 1) * chunk])
+
+
+# -------------------------------------------------------------- zero-copy
+
+
+def nbput_strided_zero_copy(
+    rt: "ArmciProcess",
+    dst: int,
+    local_base: int,
+    remote_base: int,
+    desc: StridedDescriptor,
+    handle: Handle,
+) -> Handle:
+    """One non-blocking RDMA put per chunk (the proposed protocol)."""
+    chunk = desc.shape.chunk_bytes
+    ctx = rt.main_context
+    for src_off, dst_off in zip(desc.chunk_offsets("src"), desc.chunk_offsets("dst")):
+        op = rdma_put(
+            ctx, dst, local_base + src_off, remote_base + dst_off, chunk,
+            want_remote_ack=True,
+        )
+        handle.add_event(op.local_event)
+        rt.track_write_ack(dst, op.remote_ack_event)
+    rt.trace.incr("armci.puts_strided_zero_copy")
+    return handle
+
+
+def nbget_strided_zero_copy(
+    rt: "ArmciProcess",
+    dst: int,
+    local_base: int,
+    remote_base: int,
+    desc: StridedDescriptor,
+    handle: Handle,
+) -> Handle:
+    """One non-blocking RDMA get per chunk."""
+    chunk = desc.shape.chunk_bytes
+    ctx = rt.main_context
+    for src_off, dst_off in zip(desc.chunk_offsets("src"), desc.chunk_offsets("dst")):
+        op = rdma_get(ctx, dst, remote_base + dst_off, local_base + src_off, chunk)
+        handle.add_event(op.local_event)
+    rt.trace.incr("armci.gets_strided_zero_copy")
+    return handle
+
+
+# ------------------------------------------------------------------ typed
+
+
+def nbput_strided_typed(
+    rt: "ArmciProcess",
+    dst: int,
+    local_base: int,
+    remote_base: int,
+    desc: StridedDescriptor,
+    handle: Handle,
+) -> Handle:
+    """Single typed-datatype transfer for tall-skinny patches.
+
+    The NIC walks the chunk descriptors: one message overhead total plus a
+    small per-chunk descriptor cost, instead of a full message per chunk.
+    """
+    world = rt.world
+    total = desc.shape.total_bytes
+    extra = desc.shape.num_chunks * world.params.typed_descriptor_time
+    data = _gather(world.space(rt.rank), local_base, desc, "src")
+    timing = world.network.put_timing(rt.rank, dst, total, extra_occupancy=extra)
+    engine = world.engine
+    now = engine.now
+    done = engine.event(f"typedput.{rt.rank}->{dst}")
+    ack = engine.event(f"typedput.ack.{rt.rank}->{dst}")
+    ctx = rt.main_context
+    world.ordering.record(rt.rank, dst, timing.deliver)
+
+    engine.schedule(
+        timing.deliver - now,
+        lambda _a: _scatter(world.space(dst), remote_base, desc, "dst", data),
+    )
+    engine.schedule(
+        timing.complete - now, lambda _a: ctx.post(CompletionItem(done))
+    )
+    hops = world.network.hops(rt.rank, dst)
+    engine.schedule(
+        timing.deliver + hops * world.params.hop_latency - now,
+        lambda _a: ctx.post(CompletionItem(ack)),
+    )
+    handle.add_event(done)
+    rt.track_write_ack(dst, ack)
+    rt.trace.incr("armci.puts_strided_typed")
+    return handle
+
+
+def nbget_strided_typed(
+    rt: "ArmciProcess",
+    dst: int,
+    local_base: int,
+    remote_base: int,
+    desc: StridedDescriptor,
+    handle: Handle,
+) -> Handle:
+    """Single typed-datatype get for tall-skinny patches."""
+    world = rt.world
+    total = desc.shape.total_bytes
+    extra = desc.shape.num_chunks * world.params.typed_descriptor_time
+    timing = world.network.get_timing(rt.rank, dst, total, extra_occupancy=extra)
+    engine = world.engine
+    now = engine.now
+    done = engine.event(f"typedget.{rt.rank}<-{dst}")
+    ctx = rt.main_context
+    snapshot: list[bytes] = []
+
+    engine.schedule(
+        timing.deliver - now,
+        lambda _a: snapshot.append(
+            _gather(world.space(dst), remote_base, desc, "dst")
+        ),
+    )
+
+    def complete(_a) -> None:
+        _scatter(world.space(rt.rank), local_base, desc, "src", snapshot[0])
+        ctx.post(CompletionItem(done))
+
+    engine.schedule(timing.complete - now, complete)
+    handle.add_event(done)
+    rt.trace.incr("armci.gets_strided_typed")
+    return handle
+
+
+# ------------------------------------------------------------------- pack
+
+
+def nbput_strided_pack(
+    rt: "ArmciProcess",
+    dst: int,
+    local_base: int,
+    remote_base: int,
+    desc: StridedDescriptor,
+    handle: Handle,
+) -> Handle:
+    """Legacy pack/unpack put: pack locally, one AM, unpack remotely."""
+    world = rt.world
+    total = desc.shape.total_bytes
+    data = _gather(world.space(rt.rank), local_base, desc, "src")
+    ctx = rt.main_context
+    ack = world.engine.event(f"packput.ack.{rt.rank}->{dst}")
+    unpack_cost = total * world.params.pack_byte_time
+    op = send_am(
+        ctx,
+        dst,
+        _STRIDED_PACKED_PUT_ID,
+        header={
+            "remote_base": remote_base,
+            "desc": desc,
+            "ack": ack,
+            "reply_ctx": ctx,
+            "_cost": unpack_cost,
+        },
+        payload=data,
+    )
+    handle.add_event(op.local_event)
+    # The local pack cost stalls the caller; charged via a pack event
+    # resolved immediately by the handle machinery.
+    pack_done = world.engine.event()
+    world.engine.schedule(
+        total * world.params.pack_byte_time, lambda _a: ctx.post(CompletionItem(pack_done))
+    )
+    handle.add_event(pack_done)
+    rt.track_write_ack(dst, ack)
+    rt.trace.incr("armci.puts_strided_pack")
+    return handle
+
+
+_STRIDED_PACKED_PUT_ID = 5
+
+
+def handle_strided_packed_put(
+    rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope
+) -> None:
+    """Target side of the legacy put: unpack inside the progress engine."""
+    h = env.header
+    _scatter(rt.world.space(rt.rank), h["remote_base"], h["desc"], "dst", env.payload)
+    hops = rt.world.network.hops(rt.rank, env.src)
+    reply_ctx: PamiContext = h["reply_ctx"]
+    rt.engine.schedule(
+        hops * rt.world.params.hop_latency,
+        lambda _a: reply_ctx.post(CompletionItem(h["ack"])),
+    )
+
+
+class _PackedGetReplyItem(WorkItem):
+    """Legacy get reply: unpack at the initiator inside its progress."""
+
+    __slots__ = ("data", "local_base", "desc", "event")
+
+    def __init__(self, data: bytes, local_base: int, desc: StridedDescriptor, event) -> None:
+        self.data = data
+        self.local_base = local_base
+        self.desc = desc
+        self.event = event
+
+    def cost(self, ctx: PamiContext) -> float:
+        p = ctx.params
+        return (
+            p.am_handler_time
+            + len(self.data) * p.shm_byte_time
+            + len(self.data) * p.pack_byte_time  # unpack
+        )
+
+    def execute(self, ctx: PamiContext) -> None:
+        space = ctx.client.world.space(ctx.client.rank)
+        _scatter(space, self.local_base, self.desc, "src", self.data)
+        self.event.succeed()
+
+
+def nbget_strided_pack(
+    rt: "ArmciProcess",
+    dst: int,
+    local_base: int,
+    remote_base: int,
+    desc: StridedDescriptor,
+    handle: Handle,
+) -> Handle:
+    """Legacy pack/unpack get: target packs and streams back one message."""
+    ctx = rt.main_context
+    done = rt.engine.event(f"packget.{rt.rank}<-{dst}")
+    send_am(
+        ctx,
+        dst,
+        _STRIDED_PACKED_GET_ID,
+        header={
+            "remote_base": remote_base,
+            "local_base": local_base,
+            "desc": desc,
+            "event": done,
+            "reply_ctx": ctx,
+        },
+    )
+    handle.add_event(done)
+    rt.trace.incr("armci.gets_strided_pack")
+    return handle
+
+
+_STRIDED_PACKED_GET_ID = 6
+
+
+def handle_strided_packed_get(
+    rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope
+) -> None:
+    """Target side of the legacy get: pack inside the progress engine."""
+    h = env.header
+    desc: StridedDescriptor = h["desc"]
+    data = _gather(rt.world.space(rt.rank), h["remote_base"], desc, "dst")
+    total = len(data)
+    # Pack cost is paid by the target progress engine before injecting.
+    pack_cost = total * rt.world.params.pack_byte_time
+    timing = rt.world.network.am_payload_timing(rt.rank, env.src, total)
+    reply_ctx: PamiContext = h["reply_ctx"]
+    rt.engine.schedule(
+        timing.deliver + pack_cost - rt.engine.now,
+        lambda _a: reply_ctx.post(
+            _PackedGetReplyItem(data, h["local_base"], desc, h["event"])
+        ),
+    )
+
+
+# -------------------------------------------------------------- selection
+
+
+def select_strided_protocol(rt: "ArmciProcess", desc: StridedDescriptor) -> str:
+    """Pick the protocol per config and patch shape.
+
+    ``auto`` uses the typed path for tall-skinny patches (many chunks,
+    each below the threshold), matching the paper's remedy for
+    ``T_strided``'s inverse dependence on l0.
+    """
+    mode = rt.config.strided_protocol
+    if mode == "pack":
+        return "pack"
+    if mode == "auto":
+        if (
+            desc.shape.num_chunks > 1
+            and desc.shape.chunk_bytes < rt.config.tall_skinny_threshold
+        ):
+            return "typed"
+        return "zero_copy"
+    if mode == "zero_copy":
+        return "zero_copy"
+    raise ArmciError(f"unknown strided protocol {mode!r}")

@@ -1,0 +1,80 @@
+"""Figure 4 & 6 drivers: windowed bandwidth and bandwidth efficiency."""
+
+from __future__ import annotations
+
+from ..armci.config import ArmciConfig
+from ..errors import ReproError
+from ..util.units import mbps
+from .harness import PAPER_SIZES, two_proc_job
+
+
+def bandwidth_sweep(
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    op: str = "put",
+    config: ArmciConfig | None = None,
+    window: int = 32,
+) -> list[tuple[int, float]]:
+    """Pipelined inter-node bandwidth per message size (Fig. 4).
+
+    Rank 0 posts ``window`` non-blocking operations per size, waits for
+    local completion, and reports payload MB/s. Returns ``(size, MB/s)``.
+    """
+    if op not in ("get", "put"):
+        raise ReproError(f"op must be 'get' or 'put', got {op!r}")
+    job = two_proc_job(config)
+    results: list[tuple[int, float]] = []
+
+    def body(rt):
+        alloc = yield from rt.malloc(max(sizes))
+        if rt.rank == 0:
+            local = rt.world.space(0).allocate(max(sizes))
+            yield from rt.get(1, local, alloc.addr(1), 16)  # warm caches
+            yield from rt.fence(1)
+            for size in sizes:
+                t0 = rt.engine.now
+                for _ in range(window):
+                    if op == "put":
+                        yield from rt.nbput(1, local, alloc.addr(1), size)
+                    else:
+                        yield from rt.nbget(1, local, alloc.addr(1), size)
+                yield from rt.wait_all()
+                elapsed = rt.engine.now - t0
+                results.append((size, mbps(window * size, elapsed)))
+                if op == "put":
+                    yield from rt.fence(1)
+        yield from rt.barrier()
+
+    job.run(body)
+    return results
+
+
+def efficiency_series(
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    op: str = "put",
+    config: ArmciConfig | None = None,
+    peak_bandwidth: float = 1.8e9,
+) -> list[tuple[int, float]]:
+    """Bandwidth efficiency vs the 1.8 GB/s available peak (Fig. 6).
+
+    The paper reads N1/2 = 2 KB and >= 90% efficiency beyond 16 KB off
+    this curve.
+    """
+    rows = bandwidth_sweep(sizes, op=op, config=config)
+    peak_mbps = peak_bandwidth / 1e6
+    return [(size, bw / peak_mbps) for size, bw in rows]
+
+
+def n_half(
+    efficiency: list[tuple[int, float]],
+) -> int:
+    """Smallest measured message size reaching half of peak bandwidth.
+
+    Raises
+    ------
+    ReproError
+        If no size in the series reaches 50% efficiency.
+    """
+    for size, eff in sorted(efficiency):
+        if eff >= 0.5:
+            return size
+    raise ReproError("no message size reached 50% of peak bandwidth")

@@ -1,0 +1,23 @@
+"""Shared benchmark machinery."""
+
+from __future__ import annotations
+
+from ..armci.config import ArmciConfig
+from ..armci.runtime import ArmciJob
+
+#: The paper's message-size sweep: 16 B to 1 MB in powers of two.
+PAPER_SIZES: tuple[int, ...] = tuple(2**k for k in range(4, 21))
+
+
+def two_proc_job(
+    config: ArmciConfig | None = None, **kwargs
+) -> ArmciJob:
+    """Two processes on adjacent nodes — the Fig. 3/4 setup."""
+    job = ArmciJob(
+        2,
+        config=config if config is not None else ArmciConfig(),
+        procs_per_node=kwargs.pop("procs_per_node", 1),
+        **kwargs,
+    )
+    job.init()
+    return job

@@ -1,0 +1,79 @@
+"""Figure 7 driver: get latency as a function of process rank.
+
+2048 processes (128 nodes at 16/node, the 2*2*4*4*2 partition of Eq. 10,
+ABCDET-mapped): rank 0 issues a small get to every other rank. The
+pseudo-oscillatory curve is pure torus geometry — clusters of ranks at
+equal network distance from rank 0 see equal latency, and each hop adds
+~35 ns each way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..armci.config import ArmciConfig
+from ..armci.runtime import ArmciJob
+
+
+@dataclass(frozen=True)
+class RankLatency:
+    """Latency of a small get from rank 0 to ``rank``."""
+
+    rank: int
+    hops: int
+    seconds: float
+
+
+def rank_latency_scan(
+    num_procs: int = 2048,
+    procs_per_node: int = 16,
+    nbytes: int = 16,
+    config: ArmciConfig | None = None,
+    rank_step: int = 1,
+) -> list[RankLatency]:
+    """Measure 16 B get latency from rank 0 to ranks 1..p-1 (Fig. 7).
+
+    ``rank_step`` subsamples destinations for quicker runs.
+    """
+    job = ArmciJob(
+        num_procs,
+        config=config if config is not None else ArmciConfig(),
+        procs_per_node=procs_per_node,
+    )
+    job.init()
+    targets = list(range(1, num_procs, rank_step))
+    results: list[RankLatency] = []
+
+    def body(rt):
+        alloc = yield from rt.malloc(max(nbytes, 64))
+        if rt.rank == 0:
+            local = rt.world.space(0).allocate(max(nbytes, 64))
+            for dst in targets:
+                # Warm the endpoint + region cache for this destination,
+                # then time one get (the paper's steady-state number).
+                yield from rt.get(dst, local, alloc.addr(dst), nbytes)
+                t0 = rt.engine.now
+                yield from rt.get(dst, local, alloc.addr(dst), nbytes)
+                results.append(
+                    RankLatency(
+                        dst, rt.world.network.hops(0, dst), rt.engine.now - t0
+                    )
+                )
+        yield from rt.barrier()
+
+    job.run(body)
+    return results
+
+
+def hop_latency_estimate(results: list[RankLatency]) -> float:
+    """Per-hop one-way latency from the scan (the paper derives 35 ns).
+
+    (max - min latency) / (hop spread * 2 for the round trip).
+    """
+    internode = [r for r in results if r.hops > 0]
+    lo = min(internode, key=lambda r: r.seconds)
+    hi = max(internode, key=lambda r: r.seconds)
+    hop_spread = hi.hops - lo.hops
+    if hop_spread == 0:
+        raise ValueError("all destinations at equal distance; need a bigger job")
+    return (hi.seconds - lo.seconds) / (hop_spread * 2)

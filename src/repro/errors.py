@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+package failures without masking programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation invariant was violated."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class TopologyError(ReproError):
+    """Invalid torus geometry, coordinate, or rank mapping."""
+
+
+class PamiError(ReproError):
+    """A PAMI-layer precondition failed (bad endpoint, context, region...)."""
+
+
+class ResourceExhaustedError(PamiError):
+    """A PAMI resource budget (e.g. memory-region slots) was exhausted."""
+
+
+class ArmciError(ReproError):
+    """An ARMCI-layer precondition failed."""
+
+
+class ConsistencyError(ArmciError):
+    """A location-consistency invariant was violated."""
+
+
+class HandleError(ArmciError):
+    """Misuse of a non-blocking request handle (double wait, reuse...)."""
+
+
+class GlobalArrayError(ReproError):
+    """Invalid global-array construction or patch access."""
+
+
+class ProcessFailedError(ReproError):
+    """A one-sided operation targeted a failed process.
+
+    Raised at the *initiator* when fault detection completes (the
+    fault-tolerance extension; cf. Vishnu et al., HiPC 2010 — the
+    resiliency motivation in the paper's introduction).
+    """

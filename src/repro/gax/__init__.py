@@ -1,0 +1,23 @@
+"""A minimal Global Arrays layer over ARMCI.
+
+Provides exactly what NWChem-style applications need (Section II-B):
+block-distributed dense 2D arrays with one-sided patch ``get``/``put``/
+``accumulate``, plus shared load-balance counters — all built on the
+ARMCI primitives, the way the real Global Arrays toolkit is.
+"""
+
+from .distribution import BlockDistribution, Patch
+from .array import GlobalArray
+from .counter import SharedCounter
+from .taskpool import DistributedTaskPool, TaskPool
+from .dgemm import parallel_dgemm
+
+__all__ = [
+    "BlockDistribution",
+    "DistributedTaskPool",
+    "GlobalArray",
+    "Patch",
+    "SharedCounter",
+    "TaskPool",
+    "parallel_dgemm",
+]

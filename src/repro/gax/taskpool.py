@@ -1,0 +1,171 @@
+"""Task pools over shared counters, including a distributed variant.
+
+Figures 9/11 show the single software-serviced counter saturating as p
+grows. The standard mitigation (used by NWChem at scale and enabled by
+hardware AMOs on Gemini) is to **distribute** the load balancing: shard
+the task range over several counters hosted on different ranks, with
+ranks draining their home shard first and stealing from remote shards
+once it is exhausted. Both pool flavours expose the same
+``next_range(rt)`` interface the Fock build consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import ArmciError, ProcessFailedError
+from .counter import SharedCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..armci.runtime import ArmciProcess
+
+
+@dataclass
+class TaskPool:
+    """Single shared counter over ``[0, ntasks)`` with chunked draws."""
+
+    counter: SharedCounter
+    ntasks: int
+    chunk: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ArmciError(f"need >= 1 task, got {self.ntasks}")
+        if self.chunk < 1:
+            raise ArmciError(f"chunk must be >= 1, got {self.chunk}")
+
+    @classmethod
+    def create(
+        cls, rt: "ArmciProcess", ntasks: int, chunk: int = 1, host: int = 0
+    ) -> Generator[Any, Any, "TaskPool"]:
+        """Collective creation."""
+        counter = yield from SharedCounter.create(rt, host=host)
+        return cls(counter, ntasks, chunk)
+
+    def next_range(
+        self, rt: "ArmciProcess"
+    ) -> Generator[Any, Any, tuple[int, int] | None]:
+        """Claim the next task range ``[lo, hi)``; ``None`` when drained."""
+        draw = yield from self.counter.next(rt)
+        lo = draw * self.chunk
+        if lo >= self.ntasks:
+            return None
+        return lo, min(lo + self.chunk, self.ntasks)
+
+    def reset(self, rt: "ArmciProcess") -> Generator[Any, Any, None]:
+        """Reset for the next iteration (call from one rank, then barrier)."""
+        yield from self.counter.reset(rt)
+
+
+@dataclass
+class DistributedTaskPool:
+    """``g`` counters over ``g`` task shards, with work stealing.
+
+    Each rank drains the shard of its *home* counter
+    (``rank % g``-th counter), then probes the remaining shards round
+    robin. Counter hosts are spread across ranks, so both the AMO service
+    load and the network traffic decentralize — at p=4096 a single
+    counter's software service rate is the bottleneck even under the
+    asynchronous-thread design.
+    """
+
+    counters: list[SharedCounter]
+    ntasks: int
+    chunk: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.counters:
+            raise ArmciError("need at least one counter")
+        if self.ntasks < 1:
+            raise ArmciError(f"need >= 1 task, got {self.ntasks}")
+        if self.chunk < 1:
+            raise ArmciError(f"chunk must be >= 1, got {self.chunk}")
+
+    @classmethod
+    def create(
+        cls,
+        rt: "ArmciProcess",
+        ntasks: int,
+        num_counters: int,
+        chunk: int = 1,
+    ) -> Generator[Any, Any, "DistributedTaskPool"]:
+        """Collective creation; counter ``s`` lives on a distinct host
+        (strided across the job so hosts land on different nodes when
+        possible)."""
+        if num_counters < 1:
+            raise ArmciError(f"need >= 1 counter, got {num_counters}")
+        p = rt.world.num_procs
+        num_counters = min(num_counters, p)
+        stride = max(1, p // num_counters)
+        counters = []
+        for s in range(num_counters):
+            host = (s * stride) % p
+            counter = yield from SharedCounter.create(rt, host=host)
+            counters.append(counter)
+        return cls(counters, ntasks, chunk)
+
+    @property
+    def num_counters(self) -> int:
+        return len(self.counters)
+
+    def _shard_bounds(self, shard: int) -> tuple[int, int]:
+        g = self.num_counters
+        base, extra = divmod(self.ntasks, g)
+        lo = shard * base + min(shard, extra)
+        hi = lo + base + (1 if shard < extra else 0)
+        return lo, hi
+
+    def next_range(
+        self, rt: "ArmciProcess"
+    ) -> Generator[Any, Any, tuple[int, int] | None]:
+        """Claim a range from the home shard, stealing once it drains.
+
+        Per-rank probe state lives on ``rt`` (each rank remembers which
+        shards it has seen drained).
+        """
+        g = self.num_counters
+        state = getattr(rt, "_dtp_state", None)
+        if state is None or state[0] is not self:
+            state = (self, set())  # (pool identity, drained shards)
+            rt._dtp_state = state
+        drained: set[int] = state[1]
+        home = rt.rank % g
+        for probe in range(g):
+            shard = (home + probe) % g
+            if shard in drained:
+                continue
+            lo, hi = self._shard_bounds(shard)
+            shard_tasks = hi - lo
+            try:
+                draw = yield from self.counters[shard].next(rt)
+            except ProcessFailedError:
+                # The shard's counter host died: its undrawn tasks are
+                # lost to this pool (a recovering runtime would rebuild
+                # the counter elsewhere); keep draining healthy shards.
+                drained.add(shard)
+                rt.trace.incr("gax.pool_shards_lost")
+                continue
+            offset = draw * self.chunk
+            if offset >= shard_tasks:
+                drained.add(shard)
+                if probe > 0:
+                    rt.trace.incr("gax.pool_steal_misses")
+                continue
+            if probe > 0:
+                rt.trace.incr("gax.pool_steals")
+            return lo + offset, min(lo + offset + self.chunk, hi)
+        return None
+
+    def reset(self, rt: "ArmciProcess") -> Generator[Any, Any, None]:
+        """Reset every counter (call from exactly one rank, then have
+        **all** ranks call :meth:`reset_local` before the next round)."""
+        for counter in self.counters:
+            yield from counter.reset(rt)
+        self.reset_local(rt)
+
+    def reset_local(self, rt: "ArmciProcess") -> None:
+        """Clear this rank's drained-shard memory (non-generator; every
+        rank must call it between rounds)."""
+        if hasattr(rt, "_dtp_state"):
+            del rt._dtp_state

@@ -1,0 +1,7 @@
+"""Blue Gene/Q machine model: node resources and network timing."""
+
+from .bgq import BGQParams
+from .node import NodeResources
+from .network import TorusNetwork, TransferTiming
+
+__all__ = ["BGQParams", "NodeResources", "TorusNetwork", "TransferTiming"]

@@ -1,0 +1,245 @@
+"""Torus network timing model.
+
+Computes when transfers inject, arrive, and complete. The model has three
+mechanisms, each pinned to numbers the paper reports (see
+:mod:`repro.machine.bgq`):
+
+1. **Latency path** — software overhead + per-hop torus latency + payload
+   wire time + cache-alignment penalty.
+2. **Injection serialization** — each rank's NIC injection FIFO is a serial
+   resource: message *k* cannot start injecting before message *k-1* has
+   finished. This produces the pipelined-bandwidth curve (Fig. 4/6) and the
+   strided-transfer behaviour (Eq. 9, Fig. 8) without any special-casing.
+3. **Intra-node path** — same-node transfers bypass the torus and move
+   through the L2 crossbar.
+
+The network computes *times*; actual byte movement is done by the PAMI
+layer, which schedules copies at the times computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Engine
+from ..sim.trace import Trace
+from ..topology.mapping import RankMapping
+from .bgq import BGQParams
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    """Timing of one data transfer.
+
+    Attributes
+    ----------
+    inject_start:
+        When the payload starts injecting at the sending NIC.
+    inject_done:
+        When the sending NIC finishes serializing the payload.
+    deliver:
+        When the payload has fully landed in target memory.
+    complete:
+        When the initiator's completion callback may fire.
+    """
+
+    inject_start: float
+    inject_done: float
+    deliver: float
+    complete: float
+
+
+class TorusNetwork:
+    """Timing model for one job partition.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (supplies the clock).
+    mapping:
+        Rank placement on the torus partition.
+    params:
+        Calibrated machine constants.
+    trace:
+        Optional instrumentation sink (byte/message counters).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        mapping: RankMapping,
+        params: BGQParams,
+        trace: Trace | None = None,
+        link_contention: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.mapping = mapping
+        self.params = params
+        self.trace = trace if trace is not None else Trace()
+        #: Model serialization on shared torus links (extension beyond the
+        #: paper, whose evaluation assumed uncongested links).
+        self.link_contention = link_contention
+        # Next time each rank's injection FIFO is free.
+        self._inject_free: dict[int, float] = {}
+        # Cache rank -> node coordinate (mapping lookups are hot).
+        self._node_cache: dict[int, tuple[int, ...]] = {}
+        # Cache (src, dst) -> hop count (distance computations are hot).
+        self._hops_cache: dict[tuple[int, int], int] = {}
+        # Directed link -> next free time (contention model only).
+        self._link_free: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
+        # Cache (src, dst) -> directed links of the dimension-order route.
+        self._route_cache: dict[tuple[int, int], tuple] = {}
+
+    # ------------------------------------------------------------ helpers
+
+    def node_of(self, rank: int) -> tuple[int, ...]:
+        """Node coordinate of ``rank`` (cached)."""
+        coord = self._node_cache.get(rank)
+        if coord is None:
+            coord = self.mapping.node_of(rank)
+            self._node_cache[rank] = coord
+        return coord
+
+    def hops(self, src: int, dst: int) -> int:
+        """Torus hop count between the nodes hosting two ranks (cached)."""
+        key = (src, dst)
+        h = self._hops_cache.get(key)
+        if h is None:
+            h = self.mapping.torus.distance(self.node_of(src), self.node_of(dst))
+            self._hops_cache[key] = h
+        return h
+
+    def is_local(self, src: int, dst: int) -> bool:
+        """True if both ranks share a node (transfer bypasses the torus)."""
+        return self.node_of(src) == self.node_of(dst)
+
+    def _route_links(self, src: int, dst: int) -> tuple:
+        """Directed links of the dimension-order route between two ranks."""
+        key = (src, dst)
+        links = self._route_cache.get(key)
+        if links is None:
+            from ..topology.routing import dimension_order_route
+
+            path = dimension_order_route(
+                self.mapping.torus, self.node_of(src), self.node_of(dst)
+            )
+            links = tuple(zip(path, path[1:]))
+            self._route_cache[key] = links
+        return links
+
+    def _inject(
+        self, rank: int, post_time: float, occupancy: float, dst: int | None = None
+    ) -> tuple[float, float]:
+        """Serialize a message through ``rank``'s injection FIFO.
+
+        With link contention enabled, the message additionally waits for
+        every link on its route (cut-through: the route's links are held
+        together for the payload's serialization time). Returns
+        ``(inject_start, inject_done)``.
+        """
+        start = max(post_time, self._inject_free.get(rank, 0.0))
+        if self.link_contention and dst is not None:
+            links = self._route_links(rank, dst)
+            for link in links:
+                start = max(start, self._link_free.get(link, 0.0))
+            done = start + occupancy
+            for link in links:
+                self._link_free[link] = done
+            if links:
+                self.trace.incr("net.link_reservations", len(links))
+        else:
+            done = start + occupancy
+        self._inject_free[rank] = done
+        return start, done
+
+    def _occupancy(self, nbytes: int, extra: float = 0.0) -> float:
+        p = self.params
+        return (
+            p.message_pipeline_overhead
+            + p.wire_time(nbytes)
+            + p.alignment_penalty(nbytes)
+            + extra
+        )
+
+    # ------------------------------------------------------------- paths
+
+    def put_timing(
+        self, src: int, dst: int, nbytes: int, extra_occupancy: float = 0.0
+    ) -> TransferTiming:
+        """RDMA put: local completion does not wait for remote delivery.
+
+        Adjacent-node blocking latency at 16 B is ~2.7 us (Fig. 3); burst
+        bandwidth approaches 1775 MB/s (Fig. 4).
+        """
+        p = self.params
+        now = self.engine.now
+        self.trace.incr("net.put.messages")
+        self.trace.incr("net.put.bytes", nbytes)
+        if self.is_local(src, dst):
+            deliver = now + p.shm_latency + nbytes * p.shm_byte_time
+            return TransferTiming(now, now, deliver, deliver)
+        start, done = self._inject(
+            src, now, self._occupancy(nbytes, extra_occupancy), dst=dst
+        )
+        deliver = done + self.hops(src, dst) * p.hop_latency
+        complete = done + p.put_completion_delay
+        return TransferTiming(start, done, deliver, complete)
+
+    def get_timing(
+        self, src: int, dst: int, nbytes: int, extra_occupancy: float = 0.0
+    ) -> TransferTiming:
+        """RDMA get: request travels to the target NIC, data streams back.
+
+        No target *software* involvement — the target NIC serves the read
+        (this is the property that makes RDMA get truly one-sided,
+        Section III-C.1). The data return serializes through the target's
+        injection FIFO. ``deliver`` is when the target memory is read;
+        ``complete`` when the data has landed at the source.
+
+        Adjacent-node 16 B latency is ~2.89 us (Fig. 3).
+        """
+        p = self.params
+        now = self.engine.now
+        self.trace.incr("net.get.messages")
+        self.trace.incr("net.get.bytes", nbytes)
+        if self.is_local(src, dst):
+            read_at = now + p.shm_latency
+            complete = read_at + p.shm_latency + nbytes * p.shm_byte_time
+            return TransferTiming(now, now, read_at, complete)
+        hops = self.hops(src, dst)
+        request_arrive = now + p.get_request_overhead + hops * p.hop_latency
+        start, done = self._inject(
+            dst, request_arrive, self._occupancy(nbytes, extra_occupancy), dst=src
+        )
+        complete = done + hops * p.hop_latency + p.get_completion_delay
+        return TransferTiming(start, done, start, complete)
+
+    def packet_arrival(self, src: int, dst: int) -> float:
+        """Arrival time of a small control packet (AM header, AMO request).
+
+        Control packets are tiny and bypass payload injection serialization.
+        """
+        p = self.params
+        now = self.engine.now
+        self.trace.incr("net.control.messages")
+        if self.is_local(src, dst):
+            return now + p.shm_latency
+        return now + p.am_send_overhead + self.hops(src, dst) * p.hop_latency
+
+    def am_payload_timing(self, src: int, dst: int, nbytes: int) -> TransferTiming:
+        """An active message carrying a payload (fall-back protocols).
+
+        The payload serializes through the source's injection FIFO like any
+        other message; ``deliver`` is when the target NIC has the payload
+        queued for its progress engine.
+        """
+        p = self.params
+        now = self.engine.now
+        self.trace.incr("net.am.messages")
+        self.trace.incr("net.am.bytes", nbytes)
+        if self.is_local(src, dst):
+            deliver = now + p.shm_latency + nbytes * p.shm_byte_time
+            return TransferTiming(now, now, deliver, deliver)
+        start, done = self._inject(src, now, self._occupancy(nbytes), dst=dst)
+        deliver = done + self.hops(src, dst) * p.hop_latency
+        return TransferTiming(start, done, deliver, deliver)

@@ -1,0 +1,59 @@
+"""Per-node hardware-thread accounting.
+
+A BG/Q node offers 16 compute cores x 4 SMT threads. Each application
+process occupies one main hardware thread; the asynchronous-progress design
+(Section III-D) schedules one *additional* SMT thread per process. This
+module checks those allocations fit the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .bgq import BGQParams
+
+
+class NodeOversubscribedError(ReproError):
+    """More hardware threads requested than the node provides."""
+
+
+@dataclass
+class NodeResources:
+    """Tracks hardware-thread allocation on one compute node."""
+
+    params: BGQParams
+    allocated: int = 0
+    _owners: list[str] = field(default_factory=list)
+
+    @property
+    def capacity(self) -> int:
+        """Hardware threads available to application processes."""
+        return self.params.hardware_threads_per_node
+
+    @property
+    def free(self) -> int:
+        """Unallocated hardware threads."""
+        return self.capacity - self.allocated
+
+    def allocate(self, owner: str, count: int = 1) -> None:
+        """Reserve ``count`` hardware threads for ``owner``.
+
+        Raises
+        ------
+        NodeOversubscribedError
+            If the node does not have that many free threads.
+        """
+        if count < 1:
+            raise ReproError(f"thread count must be >= 1, got {count}")
+        if self.allocated + count > self.capacity:
+            raise NodeOversubscribedError(
+                f"node has {self.free} free hardware threads, "
+                f"{owner!r} wants {count} (capacity {self.capacity})"
+            )
+        self.allocated += count
+        self._owners.extend([owner] * count)
+
+    def owners(self) -> tuple[str, ...]:
+        """Current owners, one entry per allocated thread."""
+        return tuple(self._owners)

@@ -1,0 +1,18 @@
+"""Analytical models from the paper: LogGP protocol latencies (Eqs. 7-9)
+and PAMI resource time/space complexity (Eqs. 1-6, Tables I & II)."""
+
+from .loggp import LogGPModel
+from .complexity import (
+    Attributes,
+    ComplexityModel,
+    TABLE_I_ROWS,
+    table_ii_attributes,
+)
+
+__all__ = [
+    "Attributes",
+    "ComplexityModel",
+    "LogGPModel",
+    "TABLE_I_ROWS",
+    "table_ii_attributes",
+]

@@ -1,0 +1,14 @@
+"""A minimal two-sided (MPI-like) messaging layer over PAMI.
+
+The paper positions PGAS one-sided communication against the ubiquitous
+two-sided MPI model (Sections I and V). This tiny send/recv layer —
+tag-matched messages over active messages — exists for that comparison:
+two-sided transfers complete only when the *receiver participates*
+(posts a matching receive and makes progress), whereas the ARMCI
+one-sided operations of this package never need the target's attention
+once RDMA is in play.
+"""
+
+from .msg import MessageBoard, recv, send
+
+__all__ = ["MessageBoard", "recv", "send"]

@@ -1,0 +1,91 @@
+"""Tag-matched two-sided messaging (eager protocol over active messages).
+
+Semantics (a deliberately small MPI subset):
+
+- ``send(rt, dst, tag, payload)`` — blocking until the payload is on the
+  wire (eager: no rendezvous), like ``MPI_Send`` for small messages.
+- ``data = yield from recv(rt, src, tag)`` — blocks until a matching
+  message arrives; messages from one source with one tag are delivered
+  in order (PAMI's pairwise ordering).
+
+Matching is exact on ``(src, tag)``; unexpected messages are banked at
+the receiver, exactly the unexpected-message queue of an MPI runtime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.context import PamiContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..armci.runtime import ArmciProcess
+
+MSG_ID = 13
+
+
+class MessageBoard:
+    """Per-rank matching state: unexpected messages + posted receives."""
+
+    def __init__(self) -> None:
+        self._unexpected: dict[tuple[int, int], deque[bytes]] = {}
+        self._posted: dict[tuple[int, int], deque] = {}
+
+    def deliver(self, src: int, tag: int, payload: bytes) -> None:
+        """A message arrived: complete a posted recv or bank it."""
+        key = (src, tag)
+        posted = self._posted.get(key)
+        if posted:
+            posted.popleft().succeed(payload)
+        else:
+            self._unexpected.setdefault(key, deque()).append(payload)
+
+    def match_or_post(self, src: int, tag: int, engine):
+        """Take a banked message, or return an Event to wait on."""
+        key = (src, tag)
+        banked = self._unexpected.get(key)
+        if banked:
+            return banked.popleft(), None
+        event = engine.event(f"recv.{src}.{tag}")
+        self._posted.setdefault(key, deque()).append(event)
+        return None, event
+
+    def unexpected_count(self) -> int:
+        """Banked (unmatched) messages currently held."""
+        return sum(len(q) for q in self._unexpected.values())
+
+
+def _board(rt: "ArmciProcess") -> MessageBoard:
+    board = getattr(rt, "_msg_board", None)
+    if board is None:
+        board = MessageBoard()
+        rt._msg_board = board
+    return board
+
+
+def handle_message(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) -> None:
+    """Receiver-side delivery (runs in the target's progress engine)."""
+    _board(rt).deliver(env.src, env.header["tag"], env.payload)
+    rt.trace.incr("mpilike.delivered")
+
+
+def send(
+    rt: "ArmciProcess", dst: int, tag: int, payload: bytes
+) -> Generator[Any, Any, None]:
+    """Blocking eager send: returns when the send buffer is reusable."""
+    op = send_am(
+        rt.main_context, dst, MSG_ID, header={"tag": tag}, payload=bytes(payload)
+    )
+    yield from rt.main_context.wait_with_progress(op.local_event)
+    rt.trace.incr("mpilike.sends")
+
+
+def recv(rt: "ArmciProcess", src: int, tag: int) -> Generator[Any, Any, bytes]:
+    """Blocking receive of the next ``(src, tag)`` message."""
+    payload, event = _board(rt).match_or_post(src, tag, rt.engine)
+    if payload is None:
+        payload = yield from rt.main_context.wait_with_progress(event)
+    rt.trace.incr("mpilike.recvs")
+    return payload

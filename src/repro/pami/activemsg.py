@@ -1,0 +1,159 @@
+"""Active messages.
+
+Non-blocking sends with local callbacks; the remote handler runs inside the
+target's progress engine when some thread there advances the target context
+(Section III-A.2). ARMCI uses AMs for its fall-back protocols, region-cache
+miss service, accumulates, and collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..errors import PamiError
+from ..sim.event import Event
+from .context import CompletionItem, PamiContext, WorkItem
+
+
+@dataclass(frozen=True)
+class AmEnvelope:
+    """One active message in flight.
+
+    Attributes
+    ----------
+    dispatch_id:
+        Selects the registered handler at the target.
+    src, dst:
+        Sender and receiver ranks.
+    header:
+        Small out-of-band metadata (kept tiny, like a PAMI immediate
+        header).
+    payload:
+        Optional bulk payload bytes.
+    """
+
+    dispatch_id: int
+    src: int
+    dst: int
+    header: dict[str, Any] = field(default_factory=dict)
+    payload: bytes | None = None
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload size in bytes (0 when header-only)."""
+        return len(self.payload) if self.payload is not None else 0
+
+
+class AmItem(WorkItem):
+    """A delivered active message waiting for its handler to run."""
+
+    __slots__ = ("envelope",)
+
+    def __init__(self, envelope: AmEnvelope) -> None:
+        self.envelope = envelope
+
+    def cost(self, ctx: PamiContext) -> float:
+        # Handler dispatch plus copying the payload out of NIC buffers.
+        # Senders may declare extra handler work (accumulate flops, strided
+        # unpack...) via the reserved "_cost" header field.
+        p = ctx.params
+        return (
+            p.am_handler_time
+            + self.envelope.payload_bytes * p.shm_byte_time
+            + float(self.envelope.header.get("_cost", 0.0))
+        )
+
+    def execute(self, ctx: PamiContext) -> None:
+        handler = ctx.client.handler_for(self.envelope.dispatch_id)
+        ctx.trace.incr("pami.am_handled")
+        handler(ctx, self.envelope)
+
+    def on_dropped(self, world, dead_rank: int) -> None:
+        from . import faults as _flt
+
+        _flt.fail_am_replies(world, self.envelope, dead_rank)
+
+
+@dataclass(frozen=True)
+class AmOp:
+    """Handle to one posted active message."""
+
+    envelope: AmEnvelope
+    local_event: Event
+    deliver_time: float
+
+
+def send_am(
+    ctx: PamiContext,
+    dst_rank: int,
+    dispatch_id: int,
+    header: dict[str, Any] | None = None,
+    payload: bytes | None = None,
+    target_context: int | None = None,
+) -> AmOp:
+    """Post a non-blocking active message.
+
+    The envelope lands on the target's progress context (or an explicit
+    ``target_context``) and waits for a thread there to advance. The local
+    event fires once the send buffer is reusable.
+    """
+    world = ctx.client.world
+    src = ctx.client.rank
+    env = AmEnvelope(dispatch_id, src, dst_rank, dict(header or {}), payload)
+    timing = world.network.am_payload_timing(src, dst_rank, env.payload_bytes)
+    engine = world.engine
+    now = engine.now
+    world.ordering.record(src, dst_rank, timing.deliver)
+
+    target_client = world.client(dst_rank)
+    local_event = engine.event(f"am.local.{src}->{dst_rank}")
+
+    def deliver(_arg) -> None:
+        if world.is_failed(dst_rank):
+            from . import faults as _flt
+
+            _flt.fail_am_replies(world, env, dst_rank)
+            return
+        if target_context is not None:
+            dst_ctx = target_client.context(target_context)
+        else:
+            dst_ctx = target_client.progress_context()
+        dst_ctx.post(AmItem(env))
+
+    engine.schedule(timing.deliver - now, deliver)
+    engine.schedule(
+        timing.inject_done - now,
+        lambda _arg: ctx.post(CompletionItem(local_event)),
+    )
+    world.trace.incr("pami.am_sent")
+    return AmOp(env, local_event, timing.deliver)
+
+
+def send_am_immediate(
+    ctx: PamiContext,
+    dst_rank: int,
+    dispatch_id: int,
+    header: dict[str, Any] | None = None,
+    payload: bytes | None = None,
+    target_context: int | None = None,
+) -> Generator[Any, Any, AmOp]:
+    """The PAMI immediate AM variant: blocks until the send is injected.
+
+    Small control messages only.
+
+    Raises
+    ------
+    PamiError
+        If the payload exceeds the immediate-size limit (512 bytes, like
+        PAMI's short-message threshold).
+    """
+    if payload is not None and len(payload) > 512:
+        raise PamiError(
+            f"immediate AM payload {len(payload)} exceeds 512-byte limit"
+        )
+    op = send_am(ctx, dst_rank, dispatch_id, header, payload, target_context)
+    # Blocking completion semantics: stall (advancing the local context)
+    # until the send buffer is reusable.
+    yield from ctx.wait_with_progress(op.local_event)
+    return op

@@ -1,0 +1,192 @@
+"""Atomic memory operations (read-modify-write).
+
+The central hardware limitation of the paper (Section III-D): **Blue
+Gene/Q's NIC has no generic AMO support**, so PAMI services AMOs in
+software — the request sits in the target's context queue until a thread
+there advances the progress engine. Load-balance counters therefore stall
+whenever the target process computes, unless an asynchronous progress
+thread services them (Figs. 9 and 11).
+
+AMOs are *unordered* with respect to other messages (Section III-A.4), so
+they deliberately bypass the :class:`~repro.pami.ordering.OrderingChecker`.
+
+A hardware NIC-serviced path (``world.nic_amo_support = True``) models the
+Cray-Gemini-style fetch-and-add the paper's conclusion asks for in future
+Blue Gene hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import PamiError
+from ..sim.event import Event
+from . import faults as _flt
+from .context import CompletionItem, PamiContext, WorkItem
+
+#: value_new = op(value_old, operand, operand2); returns the new value.
+RmwFunc = Callable[[int, int, int], int]
+
+#: Supported read-modify-write operations; all return the *old* value to
+#: the initiator (fetch semantics).
+RMW_OPS: dict[str, RmwFunc] = {
+    # PAMI "add": old + operand.
+    "fetch_add": lambda old, a, _b: old + a,
+    # Unconditional exchange.
+    "swap": lambda old, a, _b: a,
+    # PAMI "compare-and-test": write operand2 iff old == operand.
+    "compare_swap": lambda old, a, b: b if old == a else old,
+    # Pure read (used for counter inspection).
+    "fetch": lambda old, _a, _b: old,
+}
+
+#: Hardware NIC service time per AMO in the what-if model (Gemini-class).
+NIC_AMO_SERVICE = 50e-9
+
+
+@dataclass(frozen=True)
+class RmwOp:
+    """Handle to one posted read-modify-write.
+
+    ``event`` fires with the **old** value once the reply reaches the
+    initiator and its context is advanced.
+    """
+
+    op: str
+    src: int
+    dst: int
+    addr: int
+    event: Event
+
+
+class RmwItem(WorkItem):
+    """A software-serviced AMO waiting in the target's context queue."""
+
+    __slots__ = ("request", "reply_ctx", "posted_at")
+
+    def __init__(self, request: "_RmwRequest", reply_ctx_rank: int, posted_at: float) -> None:
+        self.request = request
+        self.reply_ctx = reply_ctx_rank
+        self.posted_at = posted_at
+
+    def cost(self, ctx: PamiContext) -> float:
+        return ctx.params.rmw_service_time
+
+    def execute(self, ctx: PamiContext) -> None:
+        req = self.request
+        world = ctx.client.world
+        trace = world.trace
+        trace.incr("pami.rmw_serviced")
+        trace.add_time("pami.rmw_queue_wait", world.engine.now - self.posted_at)
+        old = _apply(world, req)
+        # Reply control packet back to the initiator.
+        hops = world.network.hops(req.dst, req.src)
+        latency = hops * world.params.hop_latency
+        src_ctx = world.client(req.src).context(req.reply_context)
+        world.engine.schedule(
+            latency, lambda _arg: src_ctx.post(CompletionItem(req.event, old))
+        )
+
+    def on_dropped(self, world, dead_rank: int) -> None:
+        # The hosting rank died with this AMO unserviced: the initiator's
+        # NIC reports the failure after its timeout.
+        req = self.request
+        src_ctx = world.client(req.src).context(req.reply_context)
+        world.engine.schedule(
+            _flt.FAULT_DETECT_DELAY,
+            lambda _a: src_ctx.post(
+                CompletionItem(req.event, _flt.Failure(dead_rank))
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class _RmwRequest:
+    op: str
+    src: int
+    dst: int
+    addr: int
+    operand: int
+    operand2: int
+    event: Event
+    reply_context: int
+
+
+def _apply(world, req: "_RmwRequest") -> int:
+    """Atomically apply the op to target memory; returns the old value."""
+    space = world.space(req.dst)
+    old = space.read_i64(req.addr)
+    space.write_i64(req.addr, RMW_OPS[req.op](old, req.operand, req.operand2))
+    return old
+
+
+def rmw(
+    ctx: PamiContext,
+    dst_rank: int,
+    addr: int,
+    op: str,
+    operand: int = 0,
+    operand2: int = 0,
+    target_context: int | None = None,
+) -> RmwOp:
+    """Post a non-blocking read-modify-write on ``(dst_rank, addr)``.
+
+    Parameters
+    ----------
+    ctx:
+        The initiator's context (receives the reply).
+    target_context:
+        Which target context services the request; defaults to the
+        target's progress context.
+
+    Returns
+    -------
+    RmwOp
+        Wait on ``.event`` (e.g. via ``ctx.wait_with_progress``) for the
+        old value.
+    """
+    if op not in RMW_OPS:
+        raise PamiError(f"unknown rmw op {op!r}; supported: {sorted(RMW_OPS)}")
+    world = ctx.client.world
+    src = ctx.client.rank
+    engine = world.engine
+    event = engine.event(f"rmw.{op}.{src}->{dst_rank}")
+    req = _RmwRequest(op, src, dst_rank, addr, operand, operand2, event, ctx.index)
+    arrive = world.network.packet_arrival(src, dst_rank)
+    now = engine.now
+    world.trace.incr("pami.rmw_posted")
+
+    if world.nic_amo_support:
+        # What-if hardware path: the target NIC applies the op directly,
+        # serialized only by the NIC's AMO pipeline — no software progress.
+        done = world.nic_amo_slot(dst_rank, arrive, NIC_AMO_SERVICE)
+
+        def hw_service(_arg) -> None:
+            old = _apply(world, req)
+            hops = world.network.hops(dst_rank, src)
+            engine.schedule(
+                hops * world.params.hop_latency,
+                lambda _a: ctx.post(CompletionItem(event, old)),
+            )
+
+        engine.schedule(done - now, hw_service)
+        return RmwOp(op, src, dst_rank, addr, event)
+
+    target_client = world.client(dst_rank)
+
+    def deliver(_arg) -> None:
+        if world.is_failed(dst_rank):
+            engine.schedule(
+                _flt.FAULT_DETECT_DELAY,
+                lambda _a: ctx.post(CompletionItem(event, _flt.Failure(dst_rank))),
+            )
+            return
+        if target_context is not None:
+            dst_ctx = target_client.context(target_context)
+        else:
+            dst_ctx = target_client.progress_context()
+        dst_ctx.post(RmwItem(req, src, engine.now))
+
+    engine.schedule(arrive - now, deliver)
+    return RmwOp(op, src, dst_rank, addr, event)

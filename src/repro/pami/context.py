@@ -1,0 +1,198 @@
+"""PAMI communication contexts: the progress points of the runtime.
+
+A context owns a work queue of incoming items (active messages, AMO
+requests, completion notifications) and a lock. Items are only processed
+when some simulated thread *advances* the context while holding its lock —
+exactly the PAMI model the paper builds on:
+
+- RDMA data movement bypasses contexts entirely (the NIC serves it);
+- AMOs and active messages sit in the queue until a thread advances;
+- the main thread advances while blocked in waits (default mode, "D");
+- a dedicated asynchronous thread advances continuously ("AT",
+  Section III-D), on its own context when ``rho = 2``.
+
+This is the mechanism that produces Figures 9 and 11: under default mode,
+a target busy computing leaves its queue unserviced and every requester
+stalls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import PamiError
+from ..sim.event import Event
+from ..sim.primitives import Delay, WaitAny
+from ..sim.resources import Lock, Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import PamiClient
+
+
+class WorkItem:
+    """Base class for items serviced by a context's progress engine."""
+
+    def cost(self, ctx: "PamiContext") -> float:
+        """Progress-engine time consumed servicing this item."""
+        raise NotImplementedError
+
+    def execute(self, ctx: "PamiContext") -> None:
+        """Instantaneous effects (fire events, write memory, post replies)."""
+        raise NotImplementedError
+
+    def on_dropped(self, world, dead_rank: int) -> None:
+        """The hosting rank failed before servicing this item.
+
+        Implementations owning a reply path must fail it so healthy
+        initiators do not hang (fault-tolerance extension). Default: the
+        item evaporates with its host.
+        """
+
+
+class CompletionItem(WorkItem):
+    """A local/remote completion notification awaiting callback dispatch.
+
+    PAMI fires completion callbacks from inside ``PAMI_Context_advance``;
+    this item models the dispatch. ``event`` is succeeded with ``value``
+    when some thread advances the owning context.
+    """
+
+    __slots__ = ("event", "value")
+
+    def __init__(self, event: Event, value: Any = None) -> None:
+        self.event = event
+        self.value = value
+
+    def cost(self, ctx: "PamiContext") -> float:
+        return ctx.params.advance_poll_time
+
+    def execute(self, ctx: "PamiContext") -> None:
+        ctx.trace.incr("pami.completions_dispatched")
+        self.event.succeed(self.value)
+
+
+class PamiContext:
+    """One communication context of a client.
+
+    Parameters
+    ----------
+    client:
+        Owning :class:`~repro.pami.client.PamiClient`.
+    index:
+        Context index within the client (0-based).
+    """
+
+    def __init__(self, client: "PamiClient", index: int) -> None:
+        self.client = client
+        self.index = index
+        engine = client.world.engine
+        self.engine = engine
+        self.params = client.world.params
+        self.trace = client.world.trace
+        name = f"r{client.rank}.ctx{index}"
+        self.queue = Queue(engine, name=f"{name}.q")
+        self.lock = Lock(engine, name=f"{name}.lock")
+        self._arrival = engine.event(f"{name}.arrival")
+        #: Cumulative time threads spent holding this context's lock.
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------ posting
+
+    def post(self, item: WorkItem) -> None:
+        """Enqueue a work item and wake any thread waiting for arrivals."""
+        self.queue.put(item)
+        if not self._arrival.triggered:
+            self._arrival.succeed()
+
+    def arrival_signal(self) -> Event:
+        """An event that triggers at the next :meth:`post`.
+
+        Threads with nothing to do block on this instead of busy-polling.
+        """
+        if self._arrival.triggered:
+            self._arrival = self.engine.event(
+                f"r{self.client.rank}.ctx{self.index}.arrival"
+            )
+        return self._arrival
+
+    # ----------------------------------------------------------- progress
+
+    def drain(self, max_items: int | None = None) -> Generator[Any, Any, int]:
+        """Service queued items; caller **must** hold :attr:`lock`.
+
+        Each item costs simulated progress-engine time, then executes its
+        effects at the simulated instant its service completes. For
+        efficiency the currently-queued batch is charged as one delay and
+        the per-item effects are scheduled at their exact offsets —
+        timing-identical to item-by-item servicing, at a fraction of the
+        scheduler events. Returns the number of items serviced.
+        """
+        if not self.lock.locked:
+            raise PamiError(
+                f"drain of context r{self.client.rank}.ctx{self.index} "
+                "without holding its lock"
+            )
+        serviced = 0
+        start = self.engine.now
+        while len(self.queue) and (max_items is None or serviced < max_items):
+            offset = 0.0
+            while len(self.queue) and (max_items is None or serviced < max_items):
+                item = self.queue.get_nowait()
+                offset += item.cost(self)
+                self.engine.schedule(offset, self._execute_item, item)
+                serviced += 1
+            yield Delay(offset)
+            # Items that arrived during the batch are picked up next round.
+        self.trace.incr("pami.items_serviced", serviced)
+        self.busy_time += self.engine.now - start
+        return serviced
+
+    def _execute_item(self, item: WorkItem) -> None:
+        try:
+            item.execute(self)
+        except Exception as exc:
+            from ..errors import SimulationError
+
+            self.engine.fail(
+                SimulationError(
+                    f"work item {type(item).__name__} on context "
+                    f"r{self.client.rank}.ctx{self.index} raised {exc!r}"
+                ),
+                cause=exc,
+            )
+
+    def advance(self, max_items: int | None = None) -> Generator[Any, Any, int]:
+        """Acquire the lock, :meth:`drain`, release.
+
+        This is one ``PAMI_Context_advance`` call; the lock acquisition
+        models the guard the paper discusses in Section III-D.
+        """
+        if not self.lock.try_acquire():
+            yield self.lock.acquire()
+        yield Delay(self.params.context_lock_overhead)
+        try:
+            serviced = yield from self.drain(max_items)
+        finally:
+            self.lock.release()
+        return serviced
+
+    def wait_with_progress(self, event: Event) -> Generator[Any, Any, Any]:
+        """Block until ``event`` triggers, advancing this context meanwhile.
+
+        This is the PAMI blocking-wait idiom: the waiting thread *is* the
+        progress engine. It is what lets a default-mode (no async thread)
+        process service remote AMOs while sitting in a blocking call — and
+        why a default-mode process that is *computing* services nothing.
+        """
+        while not event.triggered:
+            if len(self.queue) == 0:
+                # Sleep until either our op completes (possibly drained by
+                # another thread) or new work arrives for us to service.
+                yield WaitAny([event, self.arrival_signal()])
+                continue
+            # Bound each advance to the work pending at entry (one
+            # PAMI_Context_advance): under a continuous stream of remote
+            # requests the queue never empties, and an unbounded drain
+            # would starve the waiter from ever re-checking its event.
+            yield from self.advance(max_items=len(self.queue))
+        return event.value

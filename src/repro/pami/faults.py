@@ -1,0 +1,75 @@
+"""Fault injection and detection (fault-tolerance extension).
+
+The paper motivates PGAS models partly by resiliency (Section I, citing
+the authors' fault-tolerant communication runtime). This extension lets
+tests and benchmarks *fail* a simulated process:
+
+- the failed rank's progress stops (its contexts are never advanced
+  again; queued and future work is dropped);
+- one-sided operations targeting it complete **with a failure token**
+  after a detection delay (modeling NIC timeout/error completion), which
+  the ARMCI layer surfaces as :class:`~repro.errors.ProcessFailedError`
+  at the initiator — the semantics a fault-tolerant runtime needs:
+  remote failure must not hang healthy processes' one-sided traffic.
+
+Collectives involving a failed rank hang by design (as they do on real
+machines without a fault-tolerant collective layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProcessFailedError
+
+
+@dataclass(frozen=True)
+class Failure:
+    """Failure token delivered through a completion event's value."""
+
+    dead_rank: int
+
+    def to_exception(self) -> ProcessFailedError:
+        return ProcessFailedError(
+            f"one-sided operation targeted failed rank {self.dead_rank}"
+        )
+
+
+#: Extra delay before the initiator's NIC reports a failed target
+#: (timeout/error-completion path; much slower than success).
+FAULT_DETECT_DELAY = 25e-6
+
+
+def check_completion(value):
+    """Raise if a completion value carries a failure token; else pass it
+    through. Used by every ARMCI wait path."""
+    if isinstance(value, Failure):
+        raise value.to_exception()
+    return value
+
+
+#: Header keys that carry reply cookies (events the initiator waits on).
+REPLY_KEYS = ("event", "ack", "grant", "reply")
+
+
+def fail_am_replies(world, envelope, dead_rank: int) -> None:
+    """Fail every reply cookie of an active message lost to a dead rank.
+
+    The initiator's events fire with :class:`Failure` after the detection
+    delay, through the reply context recorded in the envelope, so waiting
+    healthy processes raise instead of hanging.
+    """
+    reply_ctx = envelope.header.get("reply_ctx")
+    if reply_ctx is None:
+        return
+    from .context import CompletionItem
+
+    for key in REPLY_KEYS:
+        cookie = envelope.header.get(key)
+        if cookie is not None and not cookie.triggered:
+            world.engine.schedule(
+                FAULT_DETECT_DELAY,
+                lambda _a, ev=cookie: reply_ctx.post(
+                    CompletionItem(ev, Failure(dead_rank))
+                ),
+            )

@@ -1,0 +1,112 @@
+"""Per-process virtual address space backed by numpy arrays.
+
+Every simulated process owns an :class:`AddressSpace`. Segments are
+allocated at increasing, page-aligned virtual addresses; reads and writes
+move real bytes, so tests can assert end-to-end data integrity of every
+communication protocol, not just its timing.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from ..errors import PamiError
+
+#: Alignment of segment base addresses.
+PAGE = 4096
+#: First valid virtual address (0 stays invalid, like NULL).
+BASE_ADDRESS = 0x1000
+
+
+class AddressSpace:
+    """A flat per-process virtual address space.
+
+    Addresses are plain integers; each allocation creates a contiguous
+    numpy-backed segment. Accesses must fall entirely inside one segment
+    (matching real RDMA, where a transfer targets one registered region).
+    """
+
+    def __init__(self) -> None:
+        self._bases: list[int] = []
+        self._segments: dict[int, np.ndarray] = {}
+        self._next = BASE_ADDRESS
+
+    def allocate(self, nbytes: int, fill: int = 0) -> int:
+        """Allocate a segment of ``nbytes`` and return its base address."""
+        if nbytes <= 0:
+            raise PamiError(f"allocation size must be positive, got {nbytes}")
+        base = self._next
+        seg = np.full(nbytes, fill, dtype=np.uint8)
+        self._segments[base] = seg
+        bisect.insort(self._bases, base)
+        # Advance past this segment, page-aligned, keeping a guard page.
+        self._next = base + ((nbytes + PAGE - 1) // PAGE + 1) * PAGE
+        return base
+
+    def free(self, base: int) -> None:
+        """Release a segment previously returned by :meth:`allocate`."""
+        if base not in self._segments:
+            raise PamiError(f"free of unknown segment base {base:#x}")
+        del self._segments[base]
+        self._bases.remove(base)
+
+    def _locate(self, addr: int, nbytes: int) -> tuple[np.ndarray, int]:
+        """Find (segment, offset) containing [addr, addr+nbytes)."""
+        if nbytes < 0:
+            raise PamiError(f"access size must be >= 0, got {nbytes}")
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx < 0:
+            raise PamiError(f"address {addr:#x} not mapped")
+        base = self._bases[idx]
+        seg = self._segments[base]
+        offset = addr - base
+        if offset + nbytes > seg.size:
+            raise PamiError(
+                f"access [{addr:#x}, +{nbytes}) overruns segment "
+                f"[{base:#x}, +{seg.size})"
+            )
+        return seg, offset
+
+    def segment_bounds(self, addr: int) -> tuple[int, int]:
+        """``(base, nbytes)`` of the segment containing ``addr``.
+
+        Used by ARMCI to register *whole* segments with the NIC (regions
+        always cover a full allocation, never a sub-range).
+        """
+        seg, offset = self._locate(addr, 0)
+        return addr - offset, seg.size
+
+    def view(self, addr: int, nbytes: int) -> np.ndarray:
+        """Writable uint8 view of ``[addr, addr+nbytes)`` (no copy)."""
+        seg, offset = self._locate(addr, nbytes)
+        return seg[offset : offset + nbytes]
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out of memory."""
+        return self.view(addr, nbytes).tobytes()
+
+    def write(self, addr: int, data: bytes | np.ndarray) -> None:
+        """Copy ``data`` into memory at ``addr``."""
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data
+        self.view(addr, len(buf))[:] = buf
+
+    # Convenience accessors for 64-bit counters (AMO targets).
+
+    def read_i64(self, addr: int) -> int:
+        """Read a little-endian signed 64-bit integer."""
+        return int(self.view(addr, 8).view(np.int64)[0])
+
+    def write_i64(self, addr: int, value: int) -> None:
+        """Write a little-endian signed 64-bit integer."""
+        self.view(addr, 8).view(np.int64)[0] = value
+
+    def read_f64(self, addr: int, count: int = 1) -> np.ndarray:
+        """Read ``count`` float64 values starting at ``addr``."""
+        return self.view(addr, 8 * count).view(np.float64).copy()
+
+    def write_f64(self, addr: int, values: np.ndarray) -> None:
+        """Write float64 values starting at ``addr``."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        self.view(addr, 8 * arr.size).view(np.float64)[:] = arr

@@ -1,0 +1,161 @@
+"""RDMA put/get primitives.
+
+RDMA data movement never touches the target's progress engine — the target
+NIC serves reads and writes directly (Section III-C.1). That property is
+what makes RDMA get truly one-sided and is why the ARMCI protocols prefer
+it whenever memory regions exist on both sides.
+
+Local completions, however, are PAMI callbacks: they are *delivered* at the
+hardware completion time but only *dispatched* when a thread advances the
+issuing context (:class:`~repro.pami.context.CompletionItem`), matching
+PAMI's completion semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PamiError
+from ..machine.network import TransferTiming
+from ..sim.event import Event
+from . import faults as _flt
+from .context import CompletionItem, PamiContext
+
+
+@dataclass(frozen=True)
+class RmaOp:
+    """Handle to one posted RDMA operation.
+
+    Attributes
+    ----------
+    kind:
+        ``"put"`` or ``"get"``.
+    src, dst:
+        Initiator and target ranks.
+    nbytes:
+        Payload size.
+    local_event:
+        Triggers when the initiator's completion callback is dispatched
+        (buffer reusable for puts; data landed for gets).
+    remote_ack_event:
+        For puts: triggers when the remote-delivery notification reaches
+        the initiator (used by ARMCI fences). ``None`` for gets.
+    timing:
+        The network timing breakdown (useful for benchmarks).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    nbytes: int
+    local_event: Event
+    remote_ack_event: Event | None
+    timing: TransferTiming
+
+
+def rdma_put(
+    ctx: PamiContext,
+    dst_rank: int,
+    local_addr: int,
+    remote_addr: int,
+    nbytes: int,
+    want_remote_ack: bool = False,
+    extra_occupancy: float = 0.0,
+) -> RmaOp:
+    """Post a non-blocking RDMA put from ``ctx``'s process to ``dst_rank``.
+
+    Data is captured at post time (ARMCI put follows MPI-style buffer-reuse
+    semantics: the buffer is logically owned by the runtime until local
+    completion, and the paper notes put therefore needs no fall-back).
+    """
+    world = ctx.client.world
+    src = ctx.client.rank
+    if nbytes <= 0:
+        raise PamiError(f"put size must be positive, got {nbytes}")
+    data = world.space(src).read(local_addr, nbytes)
+    timing = world.network.put_timing(src, dst_rank, nbytes, extra_occupancy)
+    engine = world.engine
+    now = engine.now
+
+    local_event = engine.event(f"put.local.{src}->{dst_rank}")
+    remote_ack = (
+        engine.event(f"put.rack.{src}->{dst_rank}") if want_remote_ack else None
+    )
+
+    world.ordering.record(src, dst_rank, timing.deliver)
+
+    def deliver(_arg) -> None:
+        if world.is_failed(dst_rank):
+            return  # dropped at the dead NIC; the ack path reports it
+        world.space(dst_rank).write(remote_addr, data)
+
+    engine.schedule(timing.deliver - now, deliver)
+    engine.schedule(
+        timing.complete - now,
+        lambda _arg: ctx.post(CompletionItem(local_event)),
+    )
+    if remote_ack is not None:
+        hops = world.network.hops(src, dst_rank)
+        ack_arrive = timing.deliver + hops * world.params.hop_latency
+
+        def ack(_arg) -> None:
+            if world.is_failed(dst_rank):
+                engine.schedule(
+                    _flt.FAULT_DETECT_DELAY,
+                    lambda _a: ctx.post(
+                        CompletionItem(remote_ack, _flt.Failure(dst_rank))
+                    ),
+                )
+            else:
+                ctx.post(CompletionItem(remote_ack))
+
+        engine.schedule(ack_arrive - now, ack)
+    world.trace.incr("pami.rdma_puts")
+    return RmaOp("put", src, dst_rank, nbytes, local_event, remote_ack, timing)
+
+
+def rdma_get(
+    ctx: PamiContext,
+    dst_rank: int,
+    remote_addr: int,
+    local_addr: int,
+    nbytes: int,
+    extra_occupancy: float = 0.0,
+) -> RmaOp:
+    """Post a non-blocking RDMA get; target memory is read by its NIC.
+
+    The target's *software* is never involved: the data snapshot is taken
+    at the time the target NIC serves the read (``timing.deliver``), and
+    lands in the initiator's memory at ``timing.complete``.
+    """
+    world = ctx.client.world
+    src = ctx.client.rank
+    if nbytes <= 0:
+        raise PamiError(f"get size must be positive, got {nbytes}")
+    timing = world.network.get_timing(src, dst_rank, nbytes, extra_occupancy)
+    engine = world.engine
+    now = engine.now
+
+    local_event = engine.event(f"get.local.{src}<-{dst_rank}")
+    snapshot: list[bytes] = []
+
+    def read_remote(_arg) -> None:
+        if not world.is_failed(dst_rank):
+            snapshot.append(world.space(dst_rank).read(remote_addr, nbytes))
+
+    def complete(_arg) -> None:
+        if not snapshot:  # target NIC dead: error completion after timeout
+            engine.schedule(
+                _flt.FAULT_DETECT_DELAY,
+                lambda _a: ctx.post(
+                    CompletionItem(local_event, _flt.Failure(dst_rank))
+                ),
+            )
+            return
+        world.space(src).write(local_addr, snapshot[0])
+        ctx.post(CompletionItem(local_event))
+
+    engine.schedule(timing.deliver - now, read_remote)
+    engine.schedule(timing.complete - now, complete)
+    world.trace.incr("pami.rdma_gets")
+    return RmaOp("get", src, dst_rank, nbytes, local_event, None, timing)

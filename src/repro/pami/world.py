@@ -1,0 +1,127 @@
+"""The simulated job: engine, network, and per-rank PAMI state."""
+
+from __future__ import annotations
+
+from ..errors import PamiError
+from ..machine.bgq import BGQParams
+from ..machine.network import TorusNetwork
+from ..sim.engine import Engine
+from ..sim.trace import Trace
+from ..topology.mapping import RankMapping, abcdet_mapping
+from ..topology.partitions import nodes_for_processes, partition_shape
+from .client import PamiClient
+from .memory import AddressSpace
+from .memregion import MemoryRegionRegistry
+from .ordering import OrderingChecker
+
+
+class PamiWorld:
+    """Everything one simulated PGAS job shares.
+
+    Parameters
+    ----------
+    num_procs:
+        Total process count ``p``.
+    procs_per_node:
+        Processes per node ``c`` (16 in the paper's runs).
+    params:
+        Machine constants; defaults to calibrated BG/Q values.
+    mapping:
+        Explicit rank mapping; by default the standard partition for the
+        node count with ABCDET placement (the paper's configuration).
+    max_regions:
+        Per-process memory-region budget (None = unlimited); small budgets
+        force ARMCI's fall-back protocols.
+    nic_amo_support:
+        If True, model a NIC with hardware fetch-and-add (the Gemini-like
+        "future Blue Gene" what-if from the paper's conclusions).
+    """
+
+    def __init__(
+        self,
+        num_procs: int,
+        procs_per_node: int = 16,
+        params: BGQParams | None = None,
+        mapping: RankMapping | None = None,
+        max_regions: int | None = None,
+        nic_amo_support: bool = False,
+        link_contention: bool = False,
+        trace: Trace | None = None,
+        engine: Engine | None = None,
+    ) -> None:
+        if num_procs < 1:
+            raise PamiError(f"need at least one process, got {num_procs}")
+        self.num_procs = num_procs
+        self.params = params if params is not None else BGQParams()
+        self.engine = engine if engine is not None else Engine()
+        self.trace = trace if trace is not None else Trace()
+        if mapping is None:
+            # Small jobs fit on fewer slots than a full node offers.
+            ppn = min(procs_per_node, num_procs)
+            nodes = nodes_for_processes(num_procs, ppn)
+            mapping = abcdet_mapping(partition_shape(nodes), ppn)
+        if mapping.num_ranks < num_procs:
+            raise PamiError(
+                f"mapping has {mapping.num_ranks} slots for {num_procs} procs"
+            )
+        self.mapping = mapping
+        self.network = TorusNetwork(
+            self.engine, mapping, self.params, self.trace,
+            link_contention=link_contention,
+        )
+        self.ordering = OrderingChecker()
+        self.nic_amo_support = nic_amo_support
+        #: Per-rank virtual address spaces (real bytes live here).
+        self.spaces = [AddressSpace() for _ in range(num_procs)]
+        #: Per-rank RDMA region tables.
+        self.regions = [
+            MemoryRegionRegistry(r, self.params.memregion_create_time, max_regions)
+            for r in range(num_procs)
+        ]
+        #: Per-rank PAMI clients (contexts are created by the runtime).
+        self.clients = [PamiClient(self, r) for r in range(num_procs)]
+        # Injection serialization for hardware AMOs at each target NIC.
+        self._nic_amo_free: dict[int, float] = {}
+        #: Ranks failed via :meth:`fail_rank` (fault-tolerance extension).
+        self.failed_ranks: set[int] = set()
+
+    def client(self, rank: int) -> PamiClient:
+        """Client of ``rank`` with bounds checking."""
+        if not 0 <= rank < self.num_procs:
+            raise PamiError(f"rank {rank} out of range [0, {self.num_procs})")
+        return self.clients[rank]
+
+    def space(self, rank: int) -> AddressSpace:
+        """Address space of ``rank``."""
+        if not 0 <= rank < self.num_procs:
+            raise PamiError(f"rank {rank} out of range [0, {self.num_procs})")
+        return self.spaces[rank]
+
+    def fail_rank(self, rank: int) -> None:
+        """Kill ``rank``: its progress stops and its queued work is dropped.
+
+        One-sided operations already in flight or posted later complete
+        with failure tokens at their initiators (see
+        :mod:`repro.pami.faults`). Does not stop the rank's main-thread
+        process if one is running — kill it at a quiescent point (e.g.
+        while it computes), as a real node loss would.
+        """
+        if not 0 <= rank < self.num_procs:
+            raise PamiError(f"rank {rank} out of range [0, {self.num_procs})")
+        self.failed_ranks.add(rank)
+        for ctx in self.clients[rank].contexts:
+            while len(ctx.queue):
+                item = ctx.queue.get_nowait()
+                item.on_dropped(self, rank)
+        self.trace.incr("pami.ranks_failed")
+
+    def is_failed(self, rank: int) -> bool:
+        """Whether ``rank`` has been failed (non-generator)."""
+        return rank in self.failed_ranks
+
+    def nic_amo_slot(self, rank: int, arrive: float, service: float) -> float:
+        """Serialize a hardware AMO through ``rank``'s NIC; returns done time."""
+        start = max(arrive, self._nic_amo_free.get(rank, 0.0))
+        done = start + service
+        self._nic_amo_free[rank] = done
+        return done

@@ -1,0 +1,121 @@
+"""The discrete-event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable
+
+from ..errors import DeadlockError, SimulationError
+from .process import ProcessBody, SimProcess
+from .event import Event
+
+
+class Engine:
+    """Deterministic discrete-event scheduler.
+
+    Maintains a heap of ``(time, seq, callback, arg)`` entries. Equal
+    timestamps are broken FIFO by the monotonically increasing sequence
+    number, so runs are exactly reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self._seq = itertools.count()
+        self._live_processes: set[SimProcess] = set()
+        self._failure: BaseException | None = None
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of scheduler entries executed so far (for diagnostics)."""
+        return self._events_executed
+
+    def schedule(self, delay: float, callback: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``callback(arg)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback, arg))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this engine."""
+        return Event(self, name=name)
+
+    def spawn(
+        self, body: ProcessBody, name: str = "proc", daemon: bool = False
+    ) -> SimProcess:
+        """Start a simulated process from a generator.
+
+        Parameters
+        ----------
+        body:
+            The generator to drive.
+        name:
+            Label for error messages.
+        daemon:
+            Daemon processes (e.g. progress threads) may still be blocked
+            when the simulation completes without that counting as deadlock.
+        """
+        proc = SimProcess(self, body, name=name, daemon=daemon)
+        self._live_processes.add(proc)
+        proc.start()
+        return proc
+
+    def process_finished(self, proc: SimProcess) -> None:
+        """Internal: a process's generator terminated."""
+        self._live_processes.discard(proc)
+
+    def fail(self, error: SimulationError, cause: BaseException | None = None) -> None:
+        """Internal: record a fatal error; :meth:`run` re-raises it."""
+        if self._failure is None:
+            if cause is not None:
+                error.__cause__ = cause
+            self._failure = error
+
+    def run(self, until: float | None = None) -> float:
+        """Execute scheduled work until the heap drains or ``until`` passes.
+
+        Returns the final simulated time. Re-raises the first process
+        failure, if any.
+        """
+        while self._heap:
+            if self._failure is not None:
+                raise self._failure
+            time, _seq, callback, arg = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            self._events_executed += 1
+            callback(arg)
+        if self._failure is not None:
+            raise self._failure
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, processes: Iterable[SimProcess]) -> list[Any]:
+        """Run until every listed process finishes; return their results.
+
+        Raises
+        ------
+        DeadlockError
+            If the event heap drains while a listed (non-daemon) process is
+            still blocked — i.e. nothing can ever wake it.
+        """
+        procs = list(processes)
+        self.run()
+        stuck = [p for p in procs if not p.done.triggered]
+        if stuck:
+            names = ", ".join(p.name for p in stuck)
+            raise DeadlockError(
+                f"simulation drained with {len(stuck)} blocked process(es): {names}"
+            )
+        return [p.done.value for p in procs]

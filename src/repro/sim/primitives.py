@@ -1,0 +1,64 @@
+"""Commands that simulated processes yield to the engine.
+
+A simulated process is a generator. Each ``yield`` hands the engine one of
+these command objects; the engine resumes the generator when the command
+completes, sending back the command's result (e.g. the event's value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .event import Event
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the process for ``dt`` seconds of simulated time."""
+
+    dt: float
+
+    def __post_init__(self) -> None:
+        if self.dt < 0:
+            raise SimulationError(f"cannot delay by negative time {self.dt}")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Suspend until ``event`` triggers; the yield returns ``event.value``."""
+
+    event: "Event"
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    """Suspend until every event in ``events`` has triggered.
+
+    The yield returns the list of event values in the given order. An empty
+    sequence completes immediately.
+    """
+
+    events: Sequence["Event"]
+
+
+@dataclass(frozen=True)
+class WaitAny:
+    """Suspend until the *first* of ``events`` triggers.
+
+    The yield returns ``(index, value)`` of the first event to trigger
+    (lowest index wins if several are already triggered). The sequence must
+    be non-empty. Other events are left untouched and may be waited on again.
+    """
+
+    events: Sequence["Event"]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise SimulationError("WaitAny needs at least one event")
+
+
+Command = Delay | WaitEvent | WaitAll | WaitAny

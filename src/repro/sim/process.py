@@ -1,0 +1,126 @@
+"""Simulated processes: generator coroutines driven by the engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import SimulationError
+from .event import Event
+from .primitives import Delay, WaitAll, WaitAny, WaitEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+#: The generator type a process body must have.
+ProcessBody = Generator[Any, Any, Any]
+
+
+class SimProcess:
+    """A running simulated process.
+
+    Wraps a generator and interprets the commands it yields. The process's
+    :attr:`done` event triggers with the generator's return value when it
+    finishes. Exceptions raised inside the generator abort the whole
+    simulation (loud failure: protocol bugs must not be silently swallowed).
+
+    Processes are created via :meth:`Engine.spawn`, not directly.
+    """
+
+    __slots__ = ("engine", "name", "body", "done", "daemon", "_started")
+
+    def __init__(
+        self, engine: "Engine", body: ProcessBody, name: str, daemon: bool
+    ) -> None:
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(body).__name__}; "
+                "did you forget a yield in the process function?"
+            )
+        self.engine = engine
+        self.name = name
+        self.body = body
+        self.daemon = daemon
+        #: Triggers with the generator's return value on completion.
+        self.done = Event(engine, name=f"{name}.done")
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the first step at the current simulated time."""
+        if self._started:
+            raise SimulationError(f"process {self.name!r} started twice")
+        self._started = True
+        self.engine.schedule(0.0, self._step, None)
+
+    # The engine resumes us through this callback.
+    def _step(self, send_value: Any) -> None:
+        try:
+            command = self.body.send(send_value)
+        except StopIteration as stop:
+            self.engine.process_finished(self)
+            self.done.succeed(stop.value)
+            return
+        except Exception as exc:
+            self.engine.process_finished(self)
+            self.engine.fail(
+                SimulationError(f"process {self.name!r} raised {exc!r}"), cause=exc
+            )
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.engine.schedule(command.dt, self._step, None)
+        elif isinstance(command, WaitEvent):
+            command.event.add_callback(self._step)
+        elif isinstance(command, WaitAll):
+            self._wait_all(list(command.events))
+        elif isinstance(command, WaitAny):
+            self._wait_any(list(command.events))
+        elif isinstance(command, Event):
+            # Allow yielding a bare Event as shorthand for WaitEvent(event).
+            command.add_callback(self._step)
+        elif isinstance(command, SimProcess):
+            # Yielding a process waits for its completion (join).
+            command.done.add_callback(self._step)
+        else:
+            self.engine.process_finished(self)
+            self.engine.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported command "
+                    f"{command!r}"
+                )
+            )
+
+    def _wait_all(self, events: list[Event]) -> None:
+        pending = sum(1 for ev in events if not ev.triggered)
+        if pending == 0:
+            self.engine.schedule(0.0, self._step, [ev.value for ev in events])
+            return
+        remaining = [pending]
+
+        def on_trigger(_value: Any) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._step([ev.value for ev in events])
+
+        for ev in events:
+            if not ev.triggered:
+                ev.add_callback(on_trigger)
+
+    def _wait_any(self, events: list[Event]) -> None:
+        for i, ev in enumerate(events):
+            if ev.triggered:
+                self.engine.schedule(0.0, self._step, (i, ev.value))
+                return
+        fired = [False]
+
+        def make_callback(index: int):
+            def on_trigger(value: Any) -> None:
+                if not fired[0]:
+                    fired[0] = True
+                    self._step((index, value))
+
+            return on_trigger
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_callback(i))

@@ -1,0 +1,135 @@
+"""Simulated synchronization resources: locks, semaphores, FIFO queues.
+
+These model *simulated-time* contention (e.g. the PAMI context lock shared
+by the main and asynchronous progress threads), not Python threading.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SimulationError
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+
+class Semaphore:
+    """Counting semaphore with FIFO grant order."""
+
+    __slots__ = ("engine", "name", "_count", "_waiters")
+
+    def __init__(self, engine: "Engine", count: int = 1, name: str = "sem") -> None:
+        if count < 0:
+            raise SimulationError(f"semaphore count must be >= 0, got {count}")
+        self.engine = engine
+        self.name = name
+        self._count = count
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of currently available permits."""
+        return self._count
+
+    def acquire(self) -> Event:
+        """Request a permit; the returned event triggers when granted.
+
+        Processes use it as ``yield sem.acquire()``.
+        """
+        ev = Event(self.engine, name=f"{self.name}.acquire")
+        if self._count > 0:
+            self._count -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Take a permit immediately if available; never blocks."""
+        if self._count > 0:
+            self._count -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a permit, granting the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._count += 1
+
+
+class Lock(Semaphore):
+    """Binary mutual-exclusion lock (a semaphore with one permit).
+
+    Used to model the PAMI progress-engine lock (Section III-D): when the
+    main thread and the asynchronous thread share one communication context,
+    they contend on this lock; with two contexts each thread owns its own.
+    """
+
+    def __init__(self, engine: "Engine", name: str = "lock") -> None:
+        super().__init__(engine, count=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._count == 0
+
+    def release(self) -> None:
+        if self._count == 1:
+            raise SimulationError(f"lock {self.name!r} released while not held")
+        super().release()
+
+
+class Queue:
+    """Unbounded FIFO queue with blocking get.
+
+    ``put`` is immediate; ``get`` returns an event that triggers with the
+    oldest item as soon as one is available. Used for context work queues.
+    """
+
+    __slots__ = ("engine", "name", "_items", "_getters")
+
+    def __init__(self, engine: "Engine", name: str = "queue") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Request the oldest item; use as ``item = yield queue.get()``."""
+        ev = Event(self.engine, name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Any:
+        """Pop the oldest item immediately.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        if not self._items:
+            raise SimulationError(f"queue {self.name!r} is empty")
+        return self._items.popleft()
+
+    def peek_all(self) -> tuple[Any, ...]:
+        """Snapshot of queued items (oldest first) without removing them."""
+        return tuple(self._items)

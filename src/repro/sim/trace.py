@@ -1,0 +1,66 @@
+"""Lightweight instrumentation: named counters and duration accumulators.
+
+Protocol layers increment counters (messages sent, fences issued, cache
+misses...) and record dwell times (time blocked on the load-balance counter).
+Benchmarks and tests read them back to check behaviour, not just timing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One recorded activity interval on a timeline lane."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+
+@dataclass
+class Trace:
+    """Counter and timer sink shared across a simulated job."""
+
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    durations: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    samples: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    #: Optional per-lane activity intervals (enable via record_intervals).
+    intervals: list[Interval] = field(default_factory=list)
+    #: Interval recording is opt-in: at scale it would dominate memory.
+    record_intervals: bool = False
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self.counters[name] += amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into duration bucket ``name``."""
+        self.durations[name] += seconds
+
+    def sample(self, name: str, value: float) -> None:
+        """Append one observation to sample series ``name``."""
+        self.samples[name].append(value)
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def time(self, name: str) -> float:
+        """Accumulated duration ``name`` in seconds (0.0 if never recorded)."""
+        return self.durations.get(name, 0.0)
+
+    def interval(self, lane: str, label: str, start: float, end: float) -> None:
+        """Record one activity interval (no-op unless enabled)."""
+        if self.record_intervals and end > start:
+            self.intervals.append(Interval(lane, label, start, end))
+
+    def clear(self) -> None:
+        """Reset all counters, durations, samples, and intervals."""
+        self.counters.clear()
+        self.durations.clear()
+        self.samples.clear()
+        self.intervals.clear()

@@ -1,0 +1,15 @@
+"""Blue Gene/Q 5D-torus topology: geometry, rank mappings, routing."""
+
+from .torus import Torus
+from .mapping import RankMapping, abcdet_mapping
+from .routing import dimension_order_route
+from .partitions import partition_shape, KNOWN_PARTITIONS
+
+__all__ = [
+    "KNOWN_PARTITIONS",
+    "RankMapping",
+    "Torus",
+    "abcdet_mapping",
+    "dimension_order_route",
+    "partition_shape",
+]

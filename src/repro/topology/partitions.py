@@ -1,0 +1,68 @@
+"""Blue Gene/Q partition shapes.
+
+Blue Gene/Q allocates jobs on electrically isolated torus partitions whose
+5D shapes are fixed per node count. The shapes below follow the machine's
+block geometry: the E dimension is 2 links wide on hardware (within a node
+board), and a midplane is 4*4*4*4*2 = 512 nodes. The 128-node shape
+2*2*4*4*2 is the one the paper derives in Section IV-B (Eq. 10) for its
+2048-process run at 16 processes/node.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+
+#: Node count -> 5D partition shape (A, B, C, D, E).
+KNOWN_PARTITIONS: dict[int, tuple[int, int, int, int, int]] = {
+    1: (1, 1, 1, 1, 1),
+    2: (1, 1, 1, 1, 2),
+    4: (1, 1, 1, 2, 2),
+    8: (1, 1, 2, 2, 2),
+    16: (1, 2, 2, 2, 2),
+    32: (2, 2, 2, 2, 2),
+    64: (2, 2, 4, 2, 2),
+    128: (2, 2, 4, 4, 2),   # the paper's Eq. 10 shape
+    256: (4, 2, 4, 4, 2),   # half midplane (paper's 4096-process runs)
+    512: (4, 4, 4, 4, 2),   # one midplane
+    1024: (4, 4, 4, 8, 2),
+    2048: (4, 4, 8, 8, 2),
+    4096: (4, 8, 8, 8, 2),
+    8192: (8, 8, 8, 8, 2),
+}
+
+
+def partition_shape(num_nodes: int) -> tuple[int, int, int, int, int]:
+    """The 5D torus shape allocated for ``num_nodes`` compute nodes.
+
+    Raises
+    ------
+    TopologyError
+        If there is no standard partition of that size.
+    """
+    try:
+        return KNOWN_PARTITIONS[num_nodes]
+    except KeyError:
+        raise TopologyError(
+            f"no standard BG/Q partition with {num_nodes} nodes; known sizes: "
+            f"{sorted(KNOWN_PARTITIONS)}"
+        ) from None
+
+
+def nodes_for_processes(num_procs: int, procs_per_node: int) -> int:
+    """Node count needed to host ``num_procs`` at ``procs_per_node`` each.
+
+    Raises
+    ------
+    TopologyError
+        If the process count does not fill nodes evenly.
+    """
+    if num_procs <= 0 or procs_per_node <= 0:
+        raise TopologyError(
+            f"process counts must be positive, got {num_procs}/{procs_per_node}"
+        )
+    nodes, rem = divmod(num_procs, procs_per_node)
+    if rem:
+        raise TopologyError(
+            f"{num_procs} processes do not evenly fill nodes of {procs_per_node}"
+        )
+    return max(nodes, 1)

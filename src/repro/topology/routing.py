@@ -1,0 +1,48 @@
+"""Deterministic dimension-order routing.
+
+Blue Gene/Q supports deterministic and dynamic routing, but the software
+interfaces at the time of the paper enabled deterministic (dimension-order)
+routing only (Section II-A, footnote 1). Dimension-order routing also gives
+PAMI its pairwise message-ordering guarantee, which the ARMCI layer relies
+on for location consistency.
+"""
+
+from __future__ import annotations
+
+from .torus import Torus
+
+
+def _dim_steps(torus: Torus, dim: int, src: int, dst: int) -> list[int]:
+    """Per-hop coordinate values walking src -> dst along one dimension.
+
+    Takes the shorter wrap direction; ties break toward increasing
+    coordinates so routes are fully deterministic.
+    """
+    size = torus.dims[dim]
+    if src == dst:
+        return []
+    forward = (dst - src) % size
+    backward = (src - dst) % size
+    step = 1 if forward <= backward else -1
+    count = forward if step == 1 else backward
+    return [(src + step * (i + 1)) % size for i in range(count)]
+
+
+def dimension_order_route(
+    torus: Torus, src: tuple[int, ...], dst: tuple[int, ...]
+) -> list[tuple[int, ...]]:
+    """Full node path from ``src`` to ``dst``, inclusive of both endpoints.
+
+    Dimensions are resolved in order (A first, then B, ...), each along its
+    shorter wrap direction. The path length is ``torus.distance(src, dst)``
+    hops, i.e. ``distance + 1`` nodes.
+    """
+    torus.validate_coord(src)
+    torus.validate_coord(dst)
+    path = [src]
+    current = list(src)
+    for dim in range(torus.ndim):
+        for coord_value in _dim_steps(torus, dim, current[dim], dst[dim]):
+            current[dim] = coord_value
+            path.append(tuple(current))
+    return path

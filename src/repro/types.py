@@ -1,0 +1,127 @@
+"""Shared small value types used across layers.
+
+These are deliberately tiny, immutable records: ranks, byte extents, and the
+strided-transfer descriptor ARMCI uses for uniformly non-contiguous data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .errors import ArmciError
+
+#: Type alias for a process rank.
+Rank = int
+
+
+@dataclass(frozen=True)
+class StridedShape:
+    """Shape of a uniformly non-contiguous (strided) transfer.
+
+    ARMCI describes an ``s``-dimensional patch by the size of the contiguous
+    chunk (``l0`` bytes, the innermost dimension) and per-dimension counts
+    for the outer dimensions, matching the paper's ``m = prod(l_i)`` with
+    ``l_0`` the contiguous chunk size (Section III-C.2).
+
+    Parameters
+    ----------
+    chunk_bytes:
+        Size in bytes of each contiguous chunk (``l_0``).
+    counts:
+        Number of chunks along each outer dimension, innermost-first.
+        An empty tuple denotes a plain contiguous transfer.
+    """
+
+    chunk_bytes: int
+    counts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ArmciError(f"chunk_bytes must be positive, got {self.chunk_bytes}")
+        if any(c <= 0 for c in self.counts):
+            raise ArmciError(f"all chunk counts must be positive, got {self.counts}")
+
+    @property
+    def num_chunks(self) -> int:
+        """Total number of contiguous chunks (``m / l_0``)."""
+        return math.prod(self.counts) if self.counts else 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Total message size ``m`` in bytes."""
+        return self.chunk_bytes * self.num_chunks
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality ``s`` of the transfer (1 for contiguous)."""
+        return 1 + len(self.counts)
+
+    @classmethod
+    def contiguous(cls, nbytes: int) -> "StridedShape":
+        """A contiguous transfer of ``nbytes`` bytes."""
+        return cls(chunk_bytes=nbytes)
+
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int]) -> "StridedShape":
+        """Build from the paper's ``(l_0, l_1, ..., l_{s-1})`` notation."""
+        if not lengths:
+            raise ArmciError("lengths must be non-empty")
+        return cls(chunk_bytes=int(lengths[0]), counts=tuple(int(x) for x in lengths[1:]))
+
+
+@dataclass(frozen=True)
+class StridedDescriptor:
+    """Full strided-transfer descriptor: shape plus per-side strides.
+
+    ``src_strides``/``dst_strides`` give the byte distance between the start
+    of consecutive chunks along each outer dimension (innermost-first), in
+    the source and destination address spaces respectively.
+    """
+
+    shape: StridedShape
+    src_strides: tuple[int, ...]
+    dst_strides: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.shape.counts)
+        if len(self.src_strides) != n or len(self.dst_strides) != n:
+            raise ArmciError(
+                "stride arity mismatch: shape has "
+                f"{n} outer dims, strides are {self.src_strides}/{self.dst_strides}"
+            )
+        for strides in (self.src_strides, self.dst_strides):
+            if any(s <= 0 for s in strides):
+                raise ArmciError(f"strides must be positive, got {strides}")
+            if strides and strides[0] < self.shape.chunk_bytes:
+                # Innermost stride must at least cover a chunk, otherwise
+                # chunks overlap and the transfer is ill-formed.
+                raise ArmciError(
+                    f"innermost stride {strides[0]} smaller than chunk "
+                    f"{self.shape.chunk_bytes}"
+                )
+
+    def metadata_bytes(self) -> int:
+        """Descriptor size: one word for the chunk, three per outer dim.
+
+        The paper's Section III-C.2 point: a uniformly-strided patch needs
+        "very little memory" compared to the general I/O vector, whose
+        metadata grows with the *chunk count* (3 words per segment).
+        """
+        return 8 * (1 + 3 * len(self.shape.counts))
+
+    def chunk_offsets(self, side: str) -> list[int]:
+        """Byte offsets of every chunk, in deterministic row-major order.
+
+        Parameters
+        ----------
+        side:
+            ``"src"`` or ``"dst"``.
+        """
+        strides = self.src_strides if side == "src" else self.dst_strides
+        offsets = [0]
+        # Build the offset lattice dimension by dimension (innermost first).
+        for count, stride in zip(self.shape.counts, strides):
+            offsets = [base + i * stride for i in range(count) for base in offsets]
+        return offsets

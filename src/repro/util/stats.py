@@ -1,0 +1,59 @@
+"""Small statistics helpers for benchmark result series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample."""
+
+    n: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p99: float
+    std: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"max={self.maximum:.4g} p50={self.p50:.4g} p99={self.p99:.4g}"
+        )
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Summarize a sample of measurements.
+
+    Raises
+    ------
+    ValueError
+        If the sample is empty.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p99=float(np.percentile(arr, 99)),
+        std=float(arr.std()),
+    )
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take geometric mean of an empty sample")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires strictly positive samples")
+    return float(np.exp(np.log(arr).mean()))

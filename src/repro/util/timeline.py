@@ -1,0 +1,88 @@
+"""Text Gantt rendering of recorded activity intervals.
+
+Turns a :class:`~repro.sim.trace.Trace`'s intervals into a per-lane
+timeline, making schedules visible — e.g. how default-mode counter waits
+pile up behind rank 0's compute while the async-thread schedule stays
+dense.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim.trace import Interval
+
+#: Default label -> glyph mapping; unknown labels use their first letter.
+GLYPHS = {
+    "compute": "#",
+    "counter": "c",
+    "get": "g",
+    "put": "p",
+    "acc": "a",
+    "fence": "f",
+    "barrier": "|",
+}
+
+
+def render_timeline(
+    intervals: Iterable[Interval],
+    width: int = 80,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Render intervals as one text row per lane.
+
+    Later intervals overwrite earlier ones within a character cell; idle
+    time shows as ``.``.
+    """
+    items = sorted(intervals, key=lambda iv: (iv.lane, iv.start))
+    if not items:
+        raise ValueError("no intervals to render")
+    lo = t0 if t0 is not None else min(iv.start for iv in items)
+    hi = t1 if t1 is not None else max(iv.end for iv in items)
+    span = hi - lo
+    if span <= 0:
+        raise ValueError(f"empty time window [{lo}, {hi}]")
+
+    lanes: dict[str, list[str]] = {}
+    for iv in items:
+        row = lanes.setdefault(iv.lane, ["."] * width)
+        c0 = max(0, min(width - 1, int((iv.start - lo) / span * width)))
+        c1 = max(c0 + 1, min(width, int((iv.end - lo) / span * width) + 1))
+        glyph = GLYPHS.get(iv.label, iv.label[:1] or "?")
+        for col in range(c0, c1):
+            row[col] = glyph
+
+    name_width = max(len(name) for name in lanes)
+    lines = [
+        f"{name:>{name_width}} " + "".join(row)
+        for name, row in sorted(lanes.items())
+    ]
+    scale = f"{'':>{name_width}} t = {lo * 1e6:.1f} .. {hi * 1e6:.1f} us"
+    legend = "  ".join(f"{g}={label}" for label, g in GLYPHS.items())
+    return "\n".join(lines + [scale, f"{'':>{name_width}} {legend}  .=idle"])
+
+
+def to_chrome_trace(intervals: Iterable[Interval]) -> list[dict]:
+    """Convert intervals to Chrome trace-event format (``chrome://tracing``
+    / Perfetto). Times become microseconds; lanes become thread ids.
+
+    Serialize with ``json.dump({"traceEvents": events}, fh)``.
+    """
+    events = []
+    lanes: dict[str, int] = {}
+    for iv in intervals:
+        tid = lanes.setdefault(iv.lane, len(lanes))
+        events.append(
+            {
+                "name": iv.label,
+                "cat": "armci",
+                "ph": "X",  # complete event
+                "ts": iv.start * 1e6,
+                "dur": (iv.end - iv.start) * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "args": {"lane": iv.lane},
+            }
+        )
+    return events

@@ -1,0 +1,21 @@
+"""Synthetic communication-pattern workloads.
+
+The paper notes NWChem issues "gets and accumulates to many processes
+during an application lifetime ... with little to no regularity in
+communication patterns" (Section IV-A). This package generates the
+classic pattern family — uniform-random, nearest-neighbor, hotspot,
+transpose, and an NWChem-like get/accumulate mix — and runs them through
+the full ARMCI stack, for studying how protocols and configurations
+behave under each.
+"""
+
+from .patterns import PATTERNS, PatternConfig, destinations
+from .runner import WorkloadResult, run_workload
+
+__all__ = [
+    "PATTERNS",
+    "PatternConfig",
+    "WorkloadResult",
+    "destinations",
+    "run_workload",
+]

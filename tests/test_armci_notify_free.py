@@ -1,0 +1,150 @@
+"""Tests for notify/wait synchronization and collective free."""
+
+import pytest
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.errors import PamiError
+
+
+def make_job(num_procs=2, config=None, **kwargs):
+    job = ArmciJob(
+        num_procs,
+        config=config if config is not None else ArmciConfig(),
+        procs_per_node=1,
+        **kwargs,
+    )
+    job.init()
+    return job
+
+
+class TestNotifyWait:
+    def test_producer_consumer_sees_data(self):
+        """Data put before a notify is visible to the waiting consumer
+        without a fence — PAMI's pairwise ordering at work."""
+        job = make_job()
+
+        def body(rt):
+            alloc = yield from rt.malloc(64)
+            yield from rt.barrier()
+            if rt.rank == 0:
+                src = rt.world.space(0).allocate(64)
+                rt.world.space(0).write(src, b"PRODUCED" * 8)
+                yield from rt.put(1, src, alloc.addr(1), 64)
+                yield from rt.notify(1)
+                yield from rt.barrier()
+                return None
+            yield from rt.notify_wait(0)
+            data = rt.world.space(1).read(alloc.addr(1), 8)
+            yield from rt.barrier()
+            return data
+
+        results = job.run(body)
+        assert results[1] == b"PRODUCED"
+
+    def test_notifications_are_counted_not_lost(self):
+        """Multiple notifies bank up; each wait consumes exactly one."""
+        job = make_job()
+
+        def body(rt):
+            yield from rt.barrier()
+            if rt.rank == 0:
+                for _ in range(3):
+                    yield from rt.notify(1)
+                yield from rt.barrier()
+                return None
+            # Let all three arrive before consuming any.
+            yield from rt.compute(50e-6)
+            for _ in range(3):
+                yield from rt.notify_wait(0)
+            left = rt.notify_board.pending(0)
+            yield from rt.barrier()
+            return left
+
+        results = job.run(body)
+        assert results[1] == 0
+        assert job.trace.count("armci.notifies_sent") == 3
+        assert job.trace.count("armci.notifies_consumed") == 3
+
+    def test_wait_blocks_until_notification(self):
+        job = make_job()
+
+        def body(rt):
+            yield from rt.barrier()
+            if rt.rank == 0:
+                yield from rt.compute(100e-6)
+                yield from rt.notify(1)
+                yield from rt.barrier()
+                return None
+            t0 = rt.engine.now
+            yield from rt.notify_wait(0)
+            elapsed = rt.engine.now - t0
+            yield from rt.barrier()
+            return elapsed
+
+        results = job.run(body)
+        assert results[1] >= 100e-6
+
+    def test_notifications_from_different_sources_independent(self):
+        job = make_job(num_procs=4)
+
+        def body(rt):
+            yield from rt.barrier()
+            if rt.rank == 2:
+                yield from rt.notify_wait(0)
+                yield from rt.notify_wait(1)
+            elif rt.rank in (0, 1):
+                yield from rt.notify(2)
+            yield from rt.barrier()
+
+        job.run(body)
+        assert job.trace.count("armci.notifies_consumed") == 2
+
+
+class TestFree:
+    def test_free_releases_memory_and_regions(self):
+        job = make_job()
+
+        def body(rt):
+            alloc = yield from rt.malloc(1024)
+            yield from rt.barrier()
+            yield from rt.free(alloc)
+            return alloc.addr(rt.rank)
+
+        addrs = job.run(body)
+        assert job.trace.count("armci.frees") == 2
+        for rank, addr in enumerate(addrs):
+            with pytest.raises(PamiError):
+                job.world.space(rank).read(addr, 1)
+            assert job.world.regions[rank].find(addr, 1) is None
+
+    def test_free_invalidates_remote_cache(self):
+        job = make_job()
+
+        def body(rt):
+            alloc = yield from rt.malloc(256)
+            if rt.rank == 0:
+                local = rt.world.space(0).allocate(256)
+                yield from rt.get(1, local, alloc.addr(1), 64)  # cache handle
+            yield from rt.barrier()
+            yield from rt.free(alloc)
+            return None
+
+        job.run(body)
+        assert len(job.rt(0).region_cache) == 0
+
+    def test_allocate_after_free_reuses_cleanly(self):
+        job = make_job()
+
+        def body(rt):
+            first = yield from rt.malloc(512)
+            yield from rt.free(first)
+            second = yield from rt.malloc(512)
+            if rt.rank == 0:
+                local = rt.world.space(0).allocate(64)
+                yield from rt.put(1, local, second.addr(1), 64)
+                yield from rt.fence(1)
+            yield from rt.barrier()
+            return second.alloc_id
+
+        results = job.run(body)
+        assert results == [1, 1]

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro.bench`` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import COMMANDS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table2" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Endpoint Creation Time" in out
+        assert "beta" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "3821 - 4271 us" in out
+
+    def test_fig9_with_proc_override(self, capsys):
+        assert main(["fig9", "--procs", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "D+compute" in out
+        assert out.count("\n") >= 4
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--procs", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "per-hop latency: 35.0 ns" in out
+
+    def test_every_command_is_callable(self):
+        # Guard the registry: all names resolvable, no duplicates.
+        assert len(COMMANDS) == len(set(COMMANDS))
+        for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
+                     "fig7", "fig8", "fig9", "fig11"):
+            assert name in COMMANDS

@@ -1,0 +1,211 @@
+"""Tests for the fault-tolerance extension: fault injection + detection.
+
+One-sided operations against a failed rank must complete with
+ProcessFailedError at the initiator instead of hanging — the property a
+fault-tolerant PGAS runtime needs (the resiliency motivation of the
+paper's introduction).
+"""
+
+import pytest
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.errors import PamiError, ProcessFailedError
+from repro.pami.faults import FAULT_DETECT_DELAY, Failure, check_completion
+
+
+def make_job(num_procs=4, config=None, **kwargs):
+    job = ArmciJob(
+        num_procs,
+        config=config if config is not None else ArmciConfig.async_thread_mode(),
+        procs_per_node=1,
+        **kwargs,
+    )
+    job.init()
+    return job
+
+
+class TestFailureToken:
+    def test_check_completion_passthrough(self):
+        assert check_completion(42) == 42
+        assert check_completion(None) is None
+
+    def test_check_completion_raises(self):
+        with pytest.raises(ProcessFailedError, match="rank 3"):
+            check_completion(Failure(3))
+
+    def test_fail_rank_validation(self):
+        job = make_job()
+        with pytest.raises(PamiError):
+            job.world.fail_rank(99)
+
+    def test_fail_rank_idempotent_bookkeeping(self):
+        job = make_job()
+        job.world.fail_rank(2)
+        assert job.world.is_failed(2)
+        assert not job.world.is_failed(0)
+
+
+def _fail_then(job, victim, op_body):
+    """Rank 1 fails `victim`, then runs op_body; survivors use ranks 0/1."""
+    outcome = {}
+
+    def body(rt):
+        alloc = yield from rt.malloc(256)
+        yield from rt.barrier()
+        if rt.rank >= 2:
+            # The victim (and bystander 3) compute; victim killed mid-way.
+            yield from rt.compute(10.0)
+            return
+        if rt.rank == 1:
+            yield from rt.compute(50e-6)
+            rt.world.fail_rank(victim)
+            t0 = rt.engine.now
+            try:
+                yield from op_body(rt, alloc)
+                outcome["result"] = "ok"
+            except ProcessFailedError as exc:
+                outcome["result"] = "failed"
+                outcome["detect_time"] = rt.engine.now - t0
+                outcome["message"] = str(exc)
+        # Ranks 0 and 1 do not barrier again: rank 2 is dead.
+
+    job.run(body, ranks=[0, 1, 2, 3])
+    return outcome
+
+
+class TestOneSidedFaultDetection:
+    def test_get_from_failed_rank_raises(self):
+        job = make_job()
+
+        def op(rt, alloc):
+            local = rt.world.space(1).allocate(64)
+            yield from rt.get(2, local, alloc.addr(2), 64)
+
+        out = _fail_then(job, 2, op)
+        assert out["result"] == "failed"
+        assert "rank 2" in out["message"]
+        assert out["detect_time"] >= FAULT_DETECT_DELAY
+
+    def test_rmw_on_failed_rank_raises(self):
+        job = make_job()
+
+        def op(rt, alloc):
+            yield from rt.rmw(2, alloc.addr(2), "fetch_add", 1)
+
+        out = _fail_then(job, 2, op)
+        assert out["result"] == "failed"
+
+    def test_put_fence_detects_failure(self):
+        job = make_job()
+
+        def op(rt, alloc):
+            src = rt.world.space(1).allocate(64)
+            yield from rt.put(2, src, alloc.addr(2), 64)
+            yield from rt.fence(2)
+
+        out = _fail_then(job, 2, op)
+        assert out["result"] == "failed"
+
+    def test_accumulate_fence_detects_failure(self):
+        import numpy as np
+
+        job = make_job()
+
+        def op(rt, alloc):
+            src = rt.world.space(1).allocate(64)
+            rt.world.space(1).write_f64(src, np.ones(8))
+            yield from rt.acc(2, src, alloc.addr(2), 64)
+            yield from rt.fence(2)
+
+        out = _fail_then(job, 2, op)
+        assert out["result"] == "failed"
+
+    def test_fallback_get_detects_failure(self):
+        job = make_job(config=ArmciConfig(use_rdma=False, async_thread=True,
+                                          num_contexts=2))
+
+        def op(rt, alloc):
+            local = rt.world.space(1).allocate(64)
+            yield from rt.get(2, local, alloc.addr(2), 64)
+
+        out = _fail_then(job, 2, op)
+        assert out["result"] == "failed"
+
+    def test_healthy_pairs_unaffected_by_third_party_failure(self):
+        job = make_job()
+
+        def op(rt, alloc):
+            # Rank 2 is dead, but rank 1 <-> rank 0 traffic still works.
+            src = rt.world.space(1).allocate(64)
+            rt.world.space(1).write(src, b"Y" * 64)
+            yield from rt.put(0, src, alloc.addr(0), 64)
+            yield from rt.fence(0)
+            back = rt.world.space(1).allocate(64)
+            yield from rt.get(0, back, alloc.addr(0), 64)
+            assert rt.world.space(1).read(back, 64) == b"Y" * 64
+
+        out = _fail_then(job, 2, op)
+        assert out["result"] == "ok"
+
+    def test_queued_amo_failed_with_host(self):
+        """An AMO already queued at a rank that then dies is failed back
+        to its initiator (on_dropped), not lost."""
+        job = make_job(config=ArmciConfig.default_mode())
+        outcome = {}
+
+        def body(rt):
+            alloc = yield from rt.malloc(64)
+            yield from rt.barrier()
+            if rt.rank >= 2:
+                # Never advances: incoming AMO sits in its queue.
+                yield from rt.compute(200e-6)
+                return
+            if rt.rank == 1:
+                from repro.pami.atomics import rmw as pami_rmw
+
+                pending = pami_rmw(rt.main_context, 2, alloc.addr(2), "fetch_add", 1)
+                # Give the request time to arrive at rank 2's queue.
+                yield from rt.compute(20e-6)
+                rt.world.fail_rank(2)
+                value = yield from rt.main_context.wait_with_progress(pending.event)
+                try:
+                    check_completion(value)
+                    outcome["result"] = "ok"
+                except ProcessFailedError:
+                    outcome["result"] = "failed"
+
+        job.run(body, ranks=[0, 1, 2, 3])
+        assert outcome["result"] == "failed"
+
+
+class TestPoolDegradation:
+    def test_sharded_pool_survives_counter_host_failure(self):
+        """Survivors keep draining healthy shards when a counter host
+        dies; only the dead shard's undrawn tasks are lost."""
+        from repro.gax import DistributedTaskPool
+
+        job = make_job(num_procs=4)
+        done = []
+
+        def body(rt):
+            pool = yield from DistributedTaskPool.create(rt, 16, 4)
+            yield from rt.barrier()
+            if rt.rank == 2:
+                rt.world.fail_rank(2)  # kills shard 2's counter host
+                return
+            while True:
+                try:
+                    claimed = yield from pool.next_range(rt)
+                except ProcessFailedError:
+                    break
+                if claimed is None:
+                    break
+                done.append(claimed)
+                yield from rt.compute(20e-6)
+
+        job.run(body)
+        covered = set(t for lo, hi in done for t in range(lo, hi))
+        # Shard 2 covers tasks 8..11 and is lost; everything else done.
+        assert set(range(0, 8)) | set(range(12, 16)) <= covered
+        assert covered.isdisjoint(range(8, 12))
+        assert job.trace.count("gax.pool_shards_lost") >= 1

@@ -1,0 +1,150 @@
+"""Randomized cross-protocol consistency checking.
+
+Hypothesis drives random programs of puts, accumulates, strided puts,
+vector puts, fences, and gets from one rank against another, alongside a
+sequential shadow model. Location consistency (with the automatic
+conflicting-access fences) demands every get observe exactly the shadow
+state — across protocol boundaries (RDMA puts vs AM accumulates vs
+typed/vector paths), which exercises PAMI's pairwise ordering and the
+trackers together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.armci.vector import IoVector
+from repro.types import StridedDescriptor, StridedShape
+
+SEGMENT = 512  # target segment size (bytes); f64 ops use 8-aligned slots
+
+
+def op_strategy():
+    put = st.tuples(
+        st.just("put"),
+        st.integers(0, SEGMENT - 16),
+        st.integers(1, 16),
+        st.integers(0, 255),
+    )
+    acc = st.tuples(
+        st.just("acc"),
+        st.integers(0, SEGMENT // 8 - 4),  # f64 slot
+        st.integers(1, 4),                 # count
+        st.integers(-50, 50),              # value
+    )
+    strided_put = st.tuples(
+        st.just("puts"),
+        st.integers(0, SEGMENT - 200),     # base offset
+        st.integers(2, 4),                 # chunks
+        st.integers(8, 16),                # chunk bytes
+        st.integers(0, 255),
+    )
+    vector_put = st.tuples(
+        st.just("putv"),
+        st.lists(st.integers(0, SEGMENT - 8), min_size=1, max_size=3, unique=True),
+        st.integers(1, 8),
+        st.integers(0, 255),
+    )
+    fence = st.tuples(st.just("fence"))
+    check = st.tuples(
+        st.just("check"),
+        st.integers(0, SEGMENT - 32),
+        st.integers(1, 32),
+    )
+    return st.lists(
+        st.one_of(put, acc, strided_put, vector_put, fence, check),
+        min_size=1,
+        max_size=14,
+    )
+
+
+@given(ops=op_strategy(), tracker=st.sampled_from(["cs_tgt", "cs_mr"]))
+@settings(max_examples=30, deadline=None)
+def test_random_programs_match_shadow_model(ops, tracker):
+    job = ArmciJob(
+        2, procs_per_node=1, config=ArmciConfig(consistency_tracker=tracker)
+    )
+    job.init()
+    shadow = np.zeros(SEGMENT, dtype=np.uint8)
+    mismatches = []
+
+    def body(rt):
+        alloc = yield from rt.malloc(SEGMENT)
+        yield from rt.barrier()
+        if rt.rank == 1:
+            yield from rt.barrier()
+            return
+        space = rt.world.space(0)
+        base = alloc.addr(1)
+        scratch = space.allocate(SEGMENT)
+
+        for op in ops:
+            kind = op[0]
+            if kind == "put":
+                _, off, length, value = op
+                space.write(scratch, bytes([value]) * length)
+                yield from rt.put(1, scratch, base + off, length)
+                shadow[off : off + length] = value
+            elif kind == "acc":
+                _, slot, count, value = op
+                vals = np.full(count, float(value))
+                space.write_f64(scratch, vals)
+                yield from rt.acc(1, scratch, base + slot * 8, count * 8)
+                view = shadow[slot * 8 : (slot + count) * 8].view(np.float64)
+                view += vals
+            elif kind == "puts":
+                _, off, chunks, chunk_bytes, value = op
+                desc = StridedDescriptor(
+                    StridedShape(chunk_bytes, (chunks,)),
+                    (chunk_bytes,),
+                    (chunk_bytes * 2,),
+                )
+                total = chunks * chunk_bytes
+                space.write(scratch, bytes([value]) * total)
+                yield from rt.puts(1, scratch, base + off, desc)
+                for c in range(chunks):
+                    lo = off + c * chunk_bytes * 2
+                    shadow[lo : lo + chunk_bytes] = value
+            elif kind == "putv":
+                _, offsets, length, value = op
+                offsets = [min(o, SEGMENT - length) for o in offsets]
+                offsets = sorted(set(offsets))
+                # Drop overlapping segments (ill-formed vectors).
+                pruned = []
+                last_end = -1
+                for o in offsets:
+                    if o > last_end:
+                        pruned.append(o)
+                        last_end = o + length - 1
+                if not pruned:
+                    continue
+                space.write(scratch, bytes([value]) * length)
+                vec = IoVector(
+                    tuple([scratch] * len(pruned)),
+                    tuple(base + o for o in pruned),
+                    tuple([length] * len(pruned)),
+                )
+                yield from rt.putv(1, vec)
+                for o in pruned:
+                    shadow[o : o + length] = value
+            elif kind == "fence":
+                yield from rt.fence(1)
+            elif kind == "check":
+                _, off, length = op
+                back = space.allocate(length)
+                yield from rt.get(1, back, base + off, length)
+                got = np.frombuffer(space.read(back, length), dtype=np.uint8)
+                if not np.array_equal(got, shadow[off : off + length]):
+                    mismatches.append((op, got.tobytes(), shadow[off : off + length].tobytes()))
+        # Final full check.
+        back = space.allocate(SEGMENT)
+        yield from rt.get(1, back, base, SEGMENT)
+        got = np.frombuffer(space.read(back, SEGMENT), dtype=np.uint8)
+        if not np.array_equal(got, shadow):
+            mismatches.append(("final", got.tobytes(), shadow.tobytes()))
+        yield from rt.barrier()
+
+    job.run(body)
+    assert not mismatches, mismatches[0][0]

@@ -1,0 +1,162 @@
+"""Tests for interval tracing and text Gantt rendering."""
+
+import pytest
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.sim.trace import Interval, Trace
+from repro.util import render_timeline
+
+
+class TestTraceIntervals:
+    def test_disabled_by_default(self):
+        trace = Trace()
+        trace.interval("r0", "compute", 0.0, 1.0)
+        assert trace.intervals == []
+
+    def test_enabled_records(self):
+        trace = Trace(record_intervals=True)
+        trace.interval("r0", "compute", 0.0, 1.0)
+        trace.interval("r0", "empty", 1.0, 1.0)  # zero-length dropped
+        assert len(trace.intervals) == 1
+        assert trace.intervals[0] == Interval("r0", "compute", 0.0, 1.0)
+
+    def test_clear_resets(self):
+        trace = Trace(record_intervals=True)
+        trace.interval("r0", "compute", 0.0, 1.0)
+        trace.clear()
+        assert trace.intervals == []
+
+
+class TestRenderTimeline:
+    def test_basic_lanes_and_glyphs(self):
+        intervals = [
+            Interval("r0", "compute", 0.0, 5.0),
+            Interval("r1", "counter", 2.0, 4.0),
+            Interval("r1", "barrier", 4.0, 5.0),
+        ]
+        out = render_timeline(intervals, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("r0 ")
+        assert "#" in lines[0]
+        assert "c" in lines[1] and "|" in lines[1]
+        assert ".=idle" in lines[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline([])
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline([Interval("r0", "x", 1.0, 2.0)], t0=5.0, t1=5.0)
+
+    def test_armci_job_records_when_enabled(self):
+        job = ArmciJob(2, procs_per_node=1, config=ArmciConfig())
+        job.trace.record_intervals = True
+        job.init()
+
+        def body(rt):
+            alloc = yield from rt.malloc(64)
+            if rt.rank == 0:
+                src = rt.world.space(0).allocate(64)
+                yield from rt.put(1, src, alloc.addr(1), 64)
+                # A non-blocking put leaves its ack outstanding so the
+                # fence actually waits (a zero-length fence records no
+                # interval).
+                yield from rt.nbput(1, src, alloc.addr(1), 64)
+                yield from rt.fence(1)
+                yield from rt.compute(10e-6)
+                yield from rt.rmw(1, alloc.addr(1), "fetch_add", 1)
+            yield from rt.barrier()
+
+        job.run(body)
+        labels = {iv.label for iv in job.trace.intervals}
+        assert {"put", "fence", "compute", "counter", "barrier"} <= labels
+        out = render_timeline(job.trace.intervals)
+        assert "r0" in out and "r1" in out
+
+    def test_no_overhead_when_disabled(self):
+        job = ArmciJob(2, procs_per_node=1, config=ArmciConfig())
+        job.init()
+
+        def body(rt):
+            yield from rt.compute(1e-6)
+            yield from rt.barrier()
+
+        job.run(body)
+        assert job.trace.intervals == []
+
+
+class TestRuntimeReport:
+    def test_report_reflects_activity(self):
+        job = ArmciJob(2, procs_per_node=1, config=ArmciConfig())
+        job.init()
+
+        def body(rt):
+            alloc = yield from rt.malloc(64)
+            if rt.rank == 0:
+                src = rt.world.space(0).allocate(64)
+                yield from rt.put(1, src, alloc.addr(1), 64)
+                yield from rt.fence(1)
+                yield from rt.rmw(1, alloc.addr(1), "fetch_add", 1)
+            yield from rt.barrier()
+
+        job.run(body)
+        report = job.report()
+        assert "RDMA puts" in report
+        assert "read-modify-writes" in report
+        assert "barriers" in report
+        assert "payload bytes moved" in report
+        assert "D mode" in report
+
+    def test_report_elides_unused_subsystems(self):
+        job = ArmciJob(1, procs_per_node=1, config=ArmciConfig())
+        job.init()
+        job.run(lambda rt: rt.barrier())
+        report = job.report()
+        assert "strided" not in report
+        assert "mutex" not in report
+
+
+class TestChromeTraceExport:
+    def test_events_are_valid_trace_format(self):
+        import json
+
+        from repro.util.timeline import to_chrome_trace
+
+        intervals = [
+            Interval("r0", "compute", 1e-6, 3e-6),
+            Interval("r1", "counter", 2e-6, 4e-6),
+        ]
+        events = to_chrome_trace(intervals)
+        assert len(events) == 2
+        assert events[0]["ph"] == "X"
+        assert events[0]["ts"] == pytest.approx(1.0)
+        assert events[0]["dur"] == pytest.approx(2.0)
+        assert events[0]["tid"] != events[1]["tid"]
+        json.dumps({"traceEvents": events})  # serializable
+
+    def test_lanes_map_to_stable_tids(self):
+        from repro.util.timeline import to_chrome_trace
+
+        intervals = [
+            Interval("r0", "a", 0, 1),
+            Interval("r1", "b", 0, 1),
+            Interval("r0", "c", 1, 2),
+        ]
+        events = to_chrome_trace(intervals)
+        assert events[0]["tid"] == events[2]["tid"]
+
+
+class TestTimelineWindows:
+    def test_explicit_window_clips(self):
+        intervals = [
+            Interval("r0", "compute", 0.0, 10.0),
+            Interval("r0", "counter", 12.0, 14.0),
+        ]
+        out = render_timeline(intervals, width=10, t0=0.0, t1=10.0)
+        row = out.splitlines()[0]
+        assert "#" in row
+
+    def test_unknown_label_uses_first_letter(self):
+        out = render_timeline([Interval("r0", "zap", 0.0, 1.0)], width=5)
+        assert "z" in out.splitlines()[0]

@@ -1,0 +1,91 @@
+"""Tests for the subsurface-transport (advection-diffusion) proxy."""
+
+import numpy as np
+import pytest
+
+from repro.apps.transport import (
+    TransportConfig,
+    reference_solve,
+    run_transport,
+)
+from repro.apps.transport.solver import initial_condition
+from repro.armci import ArmciConfig
+from repro.errors import ReproError
+
+
+class TestConfig:
+    def test_defaults_stable(self):
+        TransportConfig()
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ReproError):
+            TransportConfig(nx=2, ny=10)
+
+    def test_unstable_dt_rejected(self):
+        with pytest.raises(ReproError):
+            TransportConfig(dt=10.0)
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ReproError):
+            TransportConfig(steps=0)
+
+
+class TestReference:
+    def test_initial_condition_is_normalized_blob(self):
+        cfg = TransportConfig(nx=32, ny=32, steps=1)
+        u0 = initial_condition(cfg)
+        assert u0.shape == (32, 32)
+        assert u0.max() == pytest.approx(1.0, abs=0.01)
+        assert u0.min() >= 0.0
+
+    def test_diffusion_spreads_and_decays_peak(self):
+        cfg = TransportConfig(nx=32, ny=32, vx=0.0, vy=0.0, steps=30)
+        u = reference_solve(cfg)
+        assert u.max() < initial_condition(cfg).max()
+        assert u.min() >= -1e-12  # diffusion never goes negative
+
+    def test_advection_moves_the_blob(self):
+        cfg = TransportConfig(
+            nx=48, ny=48, diffusivity=0.01, vx=0.8, vy=0.0, steps=40
+        )
+        u0 = initial_condition(cfg)
+        u = reference_solve(cfg)
+        # Center of mass moves along +x (rows).
+        rows = np.arange(48)
+        com0 = (u0.sum(axis=1) * rows).sum() / u0.sum()
+        com1 = (u.sum(axis=1) * rows).sum() / u.sum()
+        assert com1 > com0 + 1.0
+
+
+class TestParallelMatchesReference:
+    @pytest.mark.parametrize("procs", [1, 2, 4])
+    def test_exact_match(self, procs):
+        cfg = TransportConfig(nx=24, ny=24, steps=8)
+        expected = reference_solve(cfg)
+        result = run_transport(procs, cfg, procs_per_node=max(1, procs))
+        np.testing.assert_allclose(result.final, expected, rtol=1e-13, atol=1e-15)
+
+    def test_halo_gets_counted(self):
+        cfg = TransportConfig(nx=24, ny=24, steps=4)
+        result = run_transport(4, cfg, procs_per_node=4)
+        # 2x2 grid: every rank reads 2 interior strips per step.
+        assert result.halo_get_count == 4 * 2 * 4
+
+    def test_runs_under_all_armci_configs(self):
+        cfg = TransportConfig(nx=16, ny=16, steps=3)
+        expected = reference_solve(cfg)
+        for armci in (
+            ArmciConfig.default_mode(),
+            ArmciConfig.async_thread_mode(),
+            ArmciConfig(use_rdma=False),
+            ArmciConfig(strided_protocol="pack"),
+        ):
+            result = run_transport(4, cfg, armci_config=armci, procs_per_node=4)
+            np.testing.assert_allclose(result.final, expected, rtol=1e-13)
+
+    def test_mass_nearly_conserved_without_advection(self):
+        """Interior diffusion conserves mass until the blob reaches the
+        absorbing boundary."""
+        cfg = TransportConfig(nx=40, ny=40, vx=0.0, vy=0.0, steps=10)
+        result = run_transport(4, cfg, procs_per_node=4)
+        assert result.mass_final == pytest.approx(result.mass_initial, rel=0.05)
