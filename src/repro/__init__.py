@@ -13,6 +13,7 @@ Most users start with::
 """
 
 from .armci import ArmciConfig, ArmciJob, ArmciProcess
+from .chaos import ChaosConfig, FaultPlan, RankCrash
 from .machine import BGQParams
 
 __version__ = "1.0.0"
@@ -22,5 +23,8 @@ __all__ = [
     "ArmciJob",
     "ArmciProcess",
     "BGQParams",
+    "ChaosConfig",
+    "FaultPlan",
+    "RankCrash",
     "__version__",
 ]

@@ -109,12 +109,19 @@ def run_scf(
     scf_config: ScfConfig | None = None,
     procs_per_node: int = 16,
     label: str | None = None,
+    chaos=None,
+    fault_plan=None,
 ) -> ScfResult:
     """Run the SCF proxy and return aggregated results.
 
     This is a complete simulated job: builds the ARMCI runtime with the
     given configuration, distributes density/Fock arrays, and runs
     ``iterations`` Fock builds under shared-counter load balancing.
+
+    ``chaos`` (a :class:`repro.chaos.ChaosConfig`) injects transient
+    communication faults, which the ARMCI retry layer must absorb — the
+    task accounting check below then doubles as an exactly-once audit.
+    ``fault_plan`` schedules hard rank crashes.
     """
     scf = scf_config if scf_config is not None else ScfConfig()
     nbf = scf.nbf
@@ -127,6 +134,8 @@ def run_scf(
         num_procs,
         config=armci_config,
         procs_per_node=min(procs_per_node, num_procs),
+        chaos=chaos,
+        fault_plan=fault_plan,
     )
     job.init()
     t_start = job.engine.now

@@ -53,6 +53,11 @@ def nbacc(
         payload=data,
     )
     handle.add_event(op.local_event)
+    if rt.chaos_enabled:
+        # A lost ACC_REQUEST is reported on the ack cookie; waiting it at
+        # the handle surfaces the transient loss at the accumulate itself
+        # so the retry layer can re-issue it.
+        handle.add_event(ack)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.accs")
     return handle

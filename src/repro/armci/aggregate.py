@@ -101,7 +101,11 @@ class AggregateHandle:
             tuple(a for a, _d in self._staged),
             tuple(len(d) for _a, d in self._staged),
         )
-        handle = yield from rt.nbputv_aggregated(self.dst, vec)
-        yield from handle.wait()
+        def attempt() -> Generator[Any, Any, Handle]:
+            h = yield from rt.nbputv_aggregated(self.dst, vec)
+            yield from h.wait()
+            return h
+
+        handle = yield from rt._with_retry(attempt, "aggregate_flush")
         rt.trace.incr("armci.aggregate_flushes")
         return handle

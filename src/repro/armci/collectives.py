@@ -9,9 +9,10 @@ process manages to service remote AMOs while it sits in a barrier.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Iterable
 
 from ..errors import ArmciError
+from ..pami.faults import FAULT_DETECT_DELAY, Failure, check_completion
 from ..sim.engine import Engine
 from ..sim.event import Event
 
@@ -25,17 +26,53 @@ class HardwareBarrier:
     All ranks must arrive before the release fires, ``latency`` after the
     last arrival. Rounds are implicit: a rank can only re-arrive after
     being released, so one in-flight event per round suffices.
+
+    Fault tolerance (epoch-based liveness): once a participant dies
+    (:meth:`note_rank_failure`), the current round — and every later one
+    — can never complete. Instead of hanging, the in-flight release
+    event fires with a :class:`~repro.pami.faults.Failure` token after
+    ``detect_delay`` (the barrier network's hardware liveness sweep),
+    and arrivals in later epochs fail the same way. Survivors raise
+    :class:`~repro.errors.ProcessFailedError` from their barrier call.
     """
 
-    def __init__(self, engine: Engine, num_procs: int, latency: float) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        num_procs: int,
+        latency: float,
+        detect_delay: float = FAULT_DETECT_DELAY,
+    ) -> None:
         if num_procs < 1:
             raise ArmciError(f"barrier needs >= 1 participant, got {num_procs}")
         self.engine = engine
         self.num_procs = num_procs
         self.latency = latency
+        self.detect_delay = detect_delay
         self._arrived: set[int] = set()
         self._event: Event | None = None
         self.rounds_completed = 0
+        self.rounds_broken = 0
+        #: First dead participant (None = barrier healthy).
+        self._broken_by: int | None = None
+
+    def note_rank_failure(self, rank: int) -> None:
+        """A participant died: break the current and all future rounds."""
+        if self._broken_by is None:
+            self._broken_by = rank
+        event = self._event
+        if event is not None and self._arrived:
+            self._fail_round(event, rank)
+
+    def _fail_round(self, event: Event, dead_rank: int) -> None:
+        self.rounds_broken += 1
+        self._arrived.clear()
+        self._event = None
+        token = Failure(dead_rank)
+        self.engine.schedule(
+            self.detect_delay,
+            lambda _a: None if event.triggered else event.succeed(token),
+        )
 
     def arrive(self, rank: int = -1) -> Event:
         """Register ``rank``'s arrival; wait on the returned event.
@@ -55,6 +92,11 @@ class HardwareBarrier:
         self._arrived.add(rank if rank >= 0 else -1 - len(self._arrived))
         event = self._event
         assert event is not None
+        if self._broken_by is not None:
+            # Broken epoch: the liveness sweep reports the dead rank to
+            # every arrival after the detection delay.
+            self._fail_round(event, self._broken_by)
+            return event
         if len(self._arrived) == self.num_procs:
             self._arrived.clear()
             self.rounds_completed += 1
@@ -62,10 +104,65 @@ class HardwareBarrier:
         return event
 
 
+class FailureDetector:
+    """Fails watched events when a watched rank dies.
+
+    The ARMCI job registers one detector with the PAMI world's failure
+    listeners. Wait paths that block on a peer's *software* action (group
+    tree messages, notify waits...) watch their wake-up event against the
+    ranks they depend on; if one of those ranks fails, the event fires
+    with a :class:`~repro.pami.faults.Failure` token after the detection
+    delay instead of never.
+    """
+
+    def __init__(self, engine: Engine, detect_delay: float = FAULT_DETECT_DELAY) -> None:
+        self.engine = engine
+        self.detect_delay = detect_delay
+        self._dead: set[int] = set()
+        self._watches: list[tuple[Event, frozenset[int]]] = []
+
+    def watch(self, event: Event, ranks: Iterable[int]) -> None:
+        """Fail ``event`` if any of ``ranks`` dies before it triggers."""
+        members = frozenset(ranks)
+        already_dead = members & self._dead
+        if already_dead:
+            self._fail(event, min(already_dead))
+            return
+        self._watches.append((event, members))
+        if len(self._watches) > 64:
+            self._watches = [
+                (ev, m) for ev, m in self._watches if not ev.triggered
+            ]
+
+    def _fail(self, event: Event, dead_rank: int) -> None:
+        token = Failure(dead_rank)
+        self.engine.schedule(
+            self.detect_delay,
+            lambda _a: None if event.triggered else event.succeed(token),
+        )
+
+    def note_rank_failure(self, rank: int) -> None:
+        self._dead.add(rank)
+        keep: list[tuple[Event, frozenset[int]]] = []
+        for event, members in self._watches:
+            if event.triggered:
+                continue
+            if rank in members:
+                self._fail(event, rank)
+            else:
+                keep.append((event, members))
+        self._watches = keep
+
+
 def barrier(rt: "ArmciProcess") -> Generator[Any, Any, None]:
-    """ARMCI barrier: hardware sync + progress while waiting."""
+    """ARMCI barrier: hardware sync + progress while waiting.
+
+    Raises :class:`~repro.errors.ProcessFailedError` if a participant
+    died — the epoch-based liveness check above — instead of deadlocking.
+    """
     release = rt.job.hw_barrier.arrive(rt.rank)
-    yield from rt.main_context.wait_with_progress(release)
+    value = yield from rt.main_context.wait_with_progress(release)
+    check_completion(value)
     rt.trace.incr("armci.barriers")
 
 

@@ -19,6 +19,38 @@ STRIDED_PROTOCOLS = ("zero_copy", "pack", "auto")
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry policy for transient transport faults.
+
+    Blocking ARMCI operations that complete with a
+    :class:`~repro.errors.TransientFaultError` (chaos injection,
+    :mod:`repro.chaos`) are re-issued up to ``max_retries`` times,
+    sleeping ``base_delay * multiplier**k`` (capped at ``max_delay``)
+    between attempts. A spent budget raises
+    :class:`~repro.errors.RetryExhaustedError`; ``max_retries=0``
+    disables retries and surfaces the raw fault.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 2e-6
+    multiplier: float = 2.0
+    max_delay: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ArmciError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay <= 0:
+            raise ArmciError(f"base_delay must be > 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ArmciError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ArmciError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+
+
+@dataclass(frozen=True)
 class ArmciConfig:
     """Configuration of one ARMCI job.
 
@@ -49,6 +81,9 @@ class ArmciConfig:
     tall_skinny_threshold:
         Chunk sizes (bytes) strictly below this use the typed-datatype
         path under ``strided_protocol="auto"``.
+    retry:
+        :class:`RetryPolicy` applied by blocking operations to transient
+        transport faults (only reachable under chaos injection).
     """
 
     async_thread: bool = False
@@ -58,6 +93,7 @@ class ArmciConfig:
     region_cache_capacity: int | None = None
     strided_protocol: str = "zero_copy"
     tall_skinny_threshold: int = 128
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.num_contexts < 1:

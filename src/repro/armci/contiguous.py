@@ -226,6 +226,11 @@ def nbput_fallback(
         payload=data,
     )
     handle.add_event(op.local_event)
+    if rt.chaos_enabled:
+        # Under chaos a lost PUT_REQUEST is reported on the ack cookie;
+        # waiting it at the handle makes the loss visible (and retryable)
+        # at the put itself rather than silently skipped by the fence.
+        handle.add_event(ack)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.put_fallback")
     return handle

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Generator
 from ..errors import ArmciError
 from ..pami.activemsg import AmEnvelope, send_am
 from ..pami.context import CompletionItem, PamiContext
+from ..pami.faults import check_completion
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import ArmciProcess
@@ -91,17 +92,27 @@ def handle_group_message(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) 
 
 
 def _await_messages(
-    rt: "ArmciProcess", key: tuple, count: int
+    rt: "ArmciProcess", key: tuple, count: int, members: tuple[int, ...] = ()
 ) -> Generator[Any, Any, list]:
-    """Block (with progress) until ``count`` messages arrive for ``key``."""
+    """Block (with progress) until ``count`` messages arrive for ``key``.
+
+    Group collectives are all-or-nothing: the wait is watched against
+    every other group member, so a participant dying mid-collective
+    raises :class:`~repro.errors.ProcessFailedError` here after the
+    detection delay instead of hanging the tree.
+    """
     state = _state(rt)
+    peers = [m for m in members if m != rt.rank]
     while len(state.inbox.get(key, [])) < count:
         event = rt.engine.event(f"group.{key}")
         state.waiters[key] = event
         if len(state.inbox.get(key, [])) >= count:  # raced with delivery
             state.waiters.pop(key, None)
             continue
-        yield from rt.main_context.wait_with_progress(event)
+        if peers:
+            rt.job.failure_detector.watch(event, peers)
+        value = yield from rt.main_context.wait_with_progress(event)
+        check_completion(value)
     return state.inbox.pop(key)
 
 
@@ -147,7 +158,7 @@ def group_reduce_tree(
             break
         if me % (2 * k) == 0 and me + k < n:
             values = yield from _await_messages(
-                rt, ("up", seq, me + k) + group.members, 1
+                rt, ("up", seq, me + k) + group.members, 1, group.members
             )
             incoming = values[0]
             if op == "sum":
@@ -162,7 +173,7 @@ def group_reduce_tree(
     result = acc
     if me != 0:
         values = yield from _await_messages(
-            rt, ("down", seq, me) + group.members, 1
+            rt, ("down", seq, me) + group.members, 1, group.members
         )
         result = values[0]
     k = 1
@@ -204,7 +215,7 @@ def group_broadcast(
     result = value
     if virt != 0:
         values = yield from _await_messages(
-            rt, ("bc", seq, me) + group.members, 1
+            rt, ("bc", seq, me) + group.members, 1, group.members
         )
         result = values[0]
     k = 1

@@ -26,11 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
-from ..errors import ArmciError, ResourceExhaustedError
+from ..errors import (
+    ArmciError,
+    ResourceExhaustedError,
+    RetryExhaustedError,
+    TransientFaultError,
+)
 from ..machine.bgq import BGQParams
 from ..pami.atomics import rmw as pami_rmw
 from ..pami.context import PamiContext
-from ..pami.faults import check_completion
+from ..pami.faults import TransientFault, check_completion
 from ..pami.world import PamiWorld
 from ..sim.event import Event
 from ..sim.primitives import Delay
@@ -139,6 +144,8 @@ class ArmciJob:
         max_regions: int | None = None,
         nic_amo_support: bool = False,
         link_contention: bool = False,
+        chaos=None,
+        fault_plan=None,
     ) -> None:
         self.config = config if config is not None else ArmciConfig()
         if world is None:
@@ -149,7 +156,23 @@ class ArmciJob:
                 max_regions=max_regions,
                 nic_amo_support=nic_amo_support,
                 link_contention=link_contention,
+                chaos=chaos,
             )
+        elif chaos is not None:
+            raise ArmciError("pass chaos to the PamiWorld when supplying one")
+        # Crash times in a job-level fault plan are measured from the
+        # start of job.run() (application time), not from construction —
+        # init's simulated cost must not eat into the schedule. Validate
+        # ranks eagerly, schedule lazily.
+        self.fault_plan = fault_plan
+        self._fault_plan_applied = False
+        if fault_plan is not None:
+            for crash in fault_plan.crashes:
+                if not 0 <= crash.rank < num_procs:
+                    raise ArmciError(
+                        f"fault plan crashes rank {crash.rank}, job has "
+                        f"{num_procs} processes"
+                    )
         self.world = world
         self.engine = world.engine
         self.trace = world.trace
@@ -157,9 +180,12 @@ class ArmciJob:
             self.engine, num_procs, world.params.collective_barrier_latency
         )
         self.reduction_board = _coll.ReductionBoard(num_procs)
+        self.failure_detector = _coll.FailureDetector(self.engine)
         self.directory = AllocationDirectory(num_procs)
         self.processes = [ArmciProcess(self, r) for r in range(num_procs)]
+        self._rank_procs: dict[int, list] = {}
         self._initialized = False
+        world.on_rank_failed(self._on_rank_failed)
 
     @property
     def num_procs(self) -> int:
@@ -169,6 +195,23 @@ class ArmciJob:
     def rt(self, rank: int) -> "ArmciProcess":
         """Per-rank runtime handle."""
         return self.processes[rank]
+
+    def _on_rank_failed(self, rank: int) -> None:
+        """World failure listener: break collectives, stop the rank.
+
+        Runs on every :meth:`PamiWorld.fail_rank` (manual or via a
+        :class:`~repro.chaos.FaultPlan`): the hardware barrier and the
+        failure detector learn of the death so survivors' collective
+        waits raise, and the dead rank's main-thread process and async
+        progress thread are killed (a node loss takes all its threads).
+        """
+        self.hw_barrier.note_rank_failure(rank)
+        self.failure_detector.note_rank_failure(rank)
+        for proc in self._rank_procs.get(rank, ()):
+            proc.kill()
+        rt = self.processes[rank]
+        if rt.async_thread is not None:
+            rt.async_thread.kill()
 
     def init(self) -> None:
         """Collectively initialize every rank (contexts, handlers, threads).
@@ -197,12 +240,21 @@ class ArmciJob:
         """Run ``body_fn(rt)`` as the main thread of each listed rank."""
         if not self._initialized:
             raise ArmciError("call job.init() before job.run()")
+        if self.fault_plan is not None and not self._fault_plan_applied:
+            self._fault_plan_applied = True
+            for crash in self.fault_plan.crashes:
+                self.engine.schedule(
+                    crash.at, lambda _a, r=crash.rank: self.world.fail_rank(r)
+                )
         if ranks is None:
             ranks = range(self.num_procs)
-        procs = [
-            self.engine.spawn(body_fn(self.processes[r]), name=f"main.r{r}")
-            for r in ranks
-        ]
+        procs = []
+        for r in ranks:
+            proc = self.engine.spawn(body_fn(self.processes[r]), name=f"main.r{r}")
+            # Tracked so a rank failure (manual or fault-plan) fail-stops
+            # its main thread instead of letting a ghost keep computing.
+            self._rank_procs.setdefault(r, []).append(proc)
+            procs.append(proc)
         return self.engine.run_until_complete(procs)
 
 
@@ -301,6 +353,47 @@ class ArmciProcess:
             _disp.MPILIKE_MESSAGE,
             lambda ctx, env: _msg.handle_message(self, ctx, env),
         )
+
+    # ----------------------------------------------------------- retry
+
+    @property
+    def chaos_enabled(self) -> bool:
+        """Whether transient-fault injection is active (non-generator)."""
+        return self.world.chaos is not None
+
+    def _with_retry(self, attempt_fn, kind: str) -> Generator[Any, Any, Any]:
+        """Run ``attempt_fn()`` (a generator factory), retrying transient
+        faults with exponential backoff per ``config.retry``.
+
+        Transient faults are injected before any target-side effect, so
+        a retried attempt applies exactly once. Fail-stop errors
+        (:class:`~repro.errors.ProcessFailedError`) pass through — a dead
+        target never comes back. A spent budget raises
+        :class:`~repro.errors.RetryExhaustedError`.
+        """
+        policy = self.config.retry
+        delay = policy.base_delay
+        attempts = 0
+        while True:
+            try:
+                result = yield from attempt_fn()
+                if attempts:
+                    self.trace.incr("armci.retry_successes")
+                return result
+            except RetryExhaustedError:
+                raise  # a nested retry loop already spent its budget
+            except TransientFaultError as exc:
+                attempts += 1
+                if attempts > policy.max_retries:
+                    raise RetryExhaustedError(
+                        f"{kind}: retry budget ({policy.max_retries}) "
+                        f"exhausted: {exc}"
+                    ) from exc
+                self.trace.incr("armci.transient_retries")
+                self.trace.incr(f"armci.transient_retries.{kind}")
+                self.trace.add_time("armci.retry_backoff_time", delay)
+                yield Delay(delay)
+                delay = min(delay * policy.multiplier, policy.max_delay)
 
     # ------------------------------------------------------ bookkeeping
 
@@ -438,17 +531,26 @@ class ArmciProcess:
         return h
 
     def put(self, dst: int, local_addr: int, remote_addr: int, nbytes: int):
-        """Blocking contiguous put (local completion)."""
+        """Blocking contiguous put (local completion); transient faults
+        are retried with backoff."""
         t0 = self.engine.now
-        h = yield from self.nbput(dst, local_addr, remote_addr, nbytes)
-        yield from h.wait()
+
+        def attempt():
+            h = yield from self.nbput(dst, local_addr, remote_addr, nbytes)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "put")
         self.trace.interval(f"r{self.rank}", "put", t0, self.engine.now)
 
     def get(self, dst: int, local_addr: int, remote_addr: int, nbytes: int):
-        """Blocking contiguous get."""
+        """Blocking contiguous get; transient faults are retried."""
         t0 = self.engine.now
-        h = yield from self.nbget(dst, local_addr, remote_addr, nbytes)
-        yield from h.wait()
+
+        def attempt():
+            h = yield from self.nbget(dst, local_addr, remote_addr, nbytes)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "get")
         self.trace.interval(f"r{self.rank}", "get", t0, self.engine.now)
 
     # --------------------------------------------------- strided RMA
@@ -505,14 +607,22 @@ class ArmciProcess:
         return h
 
     def puts(self, dst, local_base, remote_base, desc: StridedDescriptor):
-        """Blocking strided put."""
-        h = yield from self.nbputs(dst, local_base, remote_base, desc)
-        yield from h.wait()
+        """Blocking strided put; transient faults are retried."""
+
+        def attempt():
+            h = yield from self.nbputs(dst, local_base, remote_base, desc)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "puts")
 
     def gets(self, dst, local_base, remote_base, desc: StridedDescriptor):
-        """Blocking strided get."""
-        h = yield from self.nbgets(dst, local_base, remote_base, desc)
-        yield from h.wait()
+        """Blocking strided get; transient faults are retried."""
+
+        def attempt():
+            h = yield from self.nbgets(dst, local_base, remote_base, desc)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "gets")
 
     # ------------------------------------------------- I/O-vector RMA
 
@@ -593,14 +703,22 @@ class ArmciProcess:
         return AggregateHandle(self, dst)
 
     def putv(self, dst: int, vec: "_vec.IoVector"):
-        """Blocking I/O-vector put."""
-        h = yield from self.nbputv(dst, vec)
-        yield from h.wait()
+        """Blocking I/O-vector put; transient faults are retried."""
+
+        def attempt():
+            h = yield from self.nbputv(dst, vec)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "putv")
 
     def getv(self, dst: int, vec: "_vec.IoVector"):
-        """Blocking I/O-vector get."""
-        h = yield from self.nbgetv(dst, vec)
-        yield from h.wait()
+        """Blocking I/O-vector get; transient faults are retried."""
+
+        def attempt():
+            h = yield from self.nbgetv(dst, vec)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "getv")
 
     # ------------------------------------------------------ accumulate
 
@@ -627,9 +745,15 @@ class ArmciProcess:
         return h
 
     def acc(self, dst, local_addr, remote_addr, nbytes, scale: float = 1.0):
-        """Blocking (locally complete) accumulate."""
-        h = yield from self.nbacc(dst, local_addr, remote_addr, nbytes, scale)
-        yield from h.wait()
+        """Blocking (locally complete) accumulate; transient faults are
+        retried (the lost request never reached the target, so a retry
+        applies the update exactly once)."""
+
+        def attempt():
+            h = yield from self.nbacc(dst, local_addr, remote_addr, nbytes, scale)
+            yield from h.wait()
+
+        yield from self._with_retry(attempt, "acc")
 
     # ------------------------------------------------------------ AMOs
 
@@ -644,9 +768,16 @@ class ArmciProcess:
         """
         yield from self.endpoints.get(dst, self.world.client(dst).num_contexts - 1)
         t0 = self.engine.now
-        pending = pami_rmw(self.main_context, dst, addr, op, operand, operand2)
-        old = yield from self.main_context.wait_with_progress(pending.event)
-        check_completion(old)
+
+        def attempt():
+            pending = pami_rmw(self.main_context, dst, addr, op, operand, operand2)
+            value = yield from self.main_context.wait_with_progress(pending.event)
+            check_completion(value)
+            return value
+
+        # Retry-safe: a transient fault means the request was lost before
+        # the op was applied, so re-issuing never double-counts.
+        old = yield from self._with_retry(attempt, "rmw")
         self.trace.add_time("armci.rmw_wait_time", self.engine.now - t0)
         self.trace.interval(f"r{self.rank}", "counter", t0, self.engine.now)
         self.trace.incr("armci.rmws")
@@ -671,6 +802,12 @@ class ArmciProcess:
         for ack in acks:
             if not ack.triggered:
                 yield from ctx.wait_with_progress(ack)
+            if isinstance(ack.value, TransientFault):
+                # A transiently-lost write already surfaced (and was
+                # retried) at its own completion wait; the fence only
+                # certifies writes that actually reached the target.
+                self.trace.incr("armci.fence_skipped_transient")
+                continue
             check_completion(ack.value)
         self.tracker.on_fence(dst)
         self.trace.incr("armci.fences")
@@ -732,8 +869,12 @@ class ArmciProcess:
     # ------------------------------------------------------------ locks
 
     def lock(self, mutex_id: int) -> Generator[Any, Any, None]:
-        """Acquire a distributed ARMCI mutex."""
-        yield from _locks.lock(self, mutex_id)
+        """Acquire a distributed ARMCI mutex.
+
+        A transiently-lost LOCK_REQUEST is retried (the owner never saw
+        the lost request, so re-sending cannot double-acquire).
+        """
+        yield from self._with_retry(lambda: _locks.lock(self, mutex_id), "lock")
 
     def unlock(self, mutex_id: int) -> Generator[Any, Any, None]:
         """Release a distributed ARMCI mutex."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..errors import ArmciError
+from ..pami import faults as _flt
 from ..pami.activemsg import AmEnvelope, send_am
 from ..pami.context import CompletionItem, PamiContext, WorkItem
 from ..pami.rma import rdma_get, rdma_put
@@ -113,20 +114,41 @@ def nbput_strided_typed(
     done = engine.event(f"typedput.{rt.rank}->{dst}")
     ack = engine.event(f"typedput.ack.{rt.rank}->{dst}")
     ctx = rt.main_context
-    world.ordering.record(rt.rank, dst, timing.deliver)
 
-    engine.schedule(
-        timing.deliver - now,
-        lambda _a: _scatter(world.space(dst), remote_base, desc, "dst", data),
-    )
-    engine.schedule(
-        timing.complete - now, lambda _a: ctx.post(CompletionItem(done))
-    )
+    chaos = world.chaos
+    deliver_at = timing.deliver
+    fault = None
+    if chaos is not None:
+        fault = chaos.transfer_fault(rt.rank, dst, "put")
+        deliver_at = chaos.ordered_deliver(rt.rank, dst, timing.deliver)
+    world.ordering.record(rt.rank, dst, deliver_at)
+
+    def deliver(_a) -> None:
+        if fault is None and not world.is_failed(dst):
+            _scatter(world.space(dst), remote_base, desc, "dst", data)
+
+    engine.schedule(deliver_at - now, deliver)
+    if fault is not None:
+        engine.schedule(
+            timing.complete + chaos.config.detect_delay - now,
+            lambda _a: ctx.post(CompletionItem(done, fault)),
+        )
+    else:
+        engine.schedule(
+            timing.complete - now, lambda _a: ctx.post(CompletionItem(done))
+        )
     hops = world.network.hops(rt.rank, dst)
-    engine.schedule(
-        timing.deliver + hops * world.params.hop_latency - now,
-        lambda _a: ctx.post(CompletionItem(ack)),
-    )
+
+    def ack_cb(_a) -> None:
+        if world.is_failed(dst):
+            engine.schedule(
+                _flt.FAULT_DETECT_DELAY,
+                lambda _b: ctx.post(CompletionItem(ack, _flt.Failure(dst))),
+            )
+        else:
+            ctx.post(CompletionItem(ack))
+
+    engine.schedule(deliver_at + hops * world.params.hop_latency - now, ack_cb)
     handle.add_event(done)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.puts_strided_typed")
@@ -152,18 +174,34 @@ def nbget_strided_typed(
     ctx = rt.main_context
     snapshot: list[bytes] = []
 
-    engine.schedule(
-        timing.deliver - now,
-        lambda _a: snapshot.append(
-            _gather(world.space(dst), remote_base, desc, "dst")
-        ),
-    )
+    chaos = world.chaos
+    fault = None
+    extra_latency = 0.0
+    if chaos is not None:
+        fault = chaos.transfer_fault(rt.rank, dst, "get")
+        extra_latency = (
+            chaos.unordered_deliver(rt.rank, dst, timing.deliver) - timing.deliver
+        )
+
+    def read_remote(_a) -> None:
+        if fault is None and not world.is_failed(dst):
+            snapshot.append(_gather(world.space(dst), remote_base, desc, "dst"))
 
     def complete(_a) -> None:
+        if not snapshot:
+            if fault is not None:
+                token, delay = fault, chaos.config.detect_delay
+            else:
+                token, delay = _flt.Failure(dst), _flt.FAULT_DETECT_DELAY
+            engine.schedule(
+                delay, lambda _b: ctx.post(CompletionItem(done, token))
+            )
+            return
         _scatter(world.space(rt.rank), local_base, desc, "src", snapshot[0])
         ctx.post(CompletionItem(done))
 
-    engine.schedule(timing.complete - now, complete)
+    engine.schedule(timing.deliver + extra_latency - now, read_remote)
+    engine.schedule(timing.complete + extra_latency - now, complete)
     handle.add_event(done)
     rt.trace.incr("armci.gets_strided_typed")
     return handle
@@ -201,6 +239,10 @@ def nbput_strided_pack(
         payload=data,
     )
     handle.add_event(op.local_event)
+    if rt.chaos_enabled:
+        # Surfaces a transiently-lost packed put at its own wait (the ack
+        # cookie carries the fault token), making it retryable.
+        handle.add_event(ack)
     # The local pack cost stalls the caller; charged via a pack event
     # resolved immediately by the handle machinery.
     pack_done = world.engine.event()

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..errors import ArmciError
+from ..pami import faults as _flt
 from ..pami.activemsg import AmEnvelope, send_am
 from ..pami.context import CompletionItem, PamiContext, WorkItem
 from ..pami.rma import rdma_get, rdma_put
@@ -134,26 +135,48 @@ def nbputv_typed(
     )
     engine = world.engine
     now = engine.now
-    world.ordering.record(rt.rank, dst, timing.deliver)
+
+    chaos = world.chaos
+    deliver_at = timing.deliver
+    fault = None
+    if chaos is not None:
+        fault = chaos.transfer_fault(rt.rank, dst, "put")
+        deliver_at = chaos.ordered_deliver(rt.rank, dst, timing.deliver)
+    world.ordering.record(rt.rank, dst, deliver_at)
     done = engine.event(f"typedputv.{rt.rank}->{dst}")
     ack = engine.event(f"typedputv.ack.{rt.rank}->{dst}")
     ctx = rt.main_context
 
     def deliver(_a) -> None:
+        if fault is not None or world.is_failed(dst):
+            return
         target = world.space(dst)
         for addr, payload in zip(vec.remote_addrs, data):
             target.write(addr, payload)
 
-    engine.schedule(timing.deliver - now, deliver)
-    engine.schedule(
-        timing.complete - now,
-        lambda _a: ctx.post(CompletionItem(done)),
-    )
+    engine.schedule(deliver_at - now, deliver)
+    if fault is not None:
+        engine.schedule(
+            timing.complete + chaos.config.detect_delay - now,
+            lambda _a: ctx.post(CompletionItem(done, fault)),
+        )
+    else:
+        engine.schedule(
+            timing.complete - now,
+            lambda _a: ctx.post(CompletionItem(done)),
+        )
     hops = world.network.hops(rt.rank, dst)
-    engine.schedule(
-        timing.deliver + hops * world.params.hop_latency - now,
-        lambda _a: ctx.post(CompletionItem(ack)),
-    )
+
+    def ack_cb(_a) -> None:
+        if world.is_failed(dst):
+            engine.schedule(
+                _flt.FAULT_DETECT_DELAY,
+                lambda _b: ctx.post(CompletionItem(ack, _flt.Failure(dst))),
+            )
+        else:
+            ctx.post(CompletionItem(ack))
+
+    engine.schedule(deliver_at + hops * world.params.hop_latency - now, ack_cb)
     handle.add_event(done)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.putv_typed")
@@ -188,6 +211,9 @@ def nbputv_pack(
         payload=data,
     )
     handle.add_event(op.local_event)
+    if rt.chaos_enabled:
+        # Surfaces a transiently-lost packed vector put at its own wait.
+        handle.add_event(ack)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.putv_pack")
     return handle

@@ -1,0 +1,240 @@
+"""Chaos injection: transient transport faults for resilience testing.
+
+The seed models only fail-stop ranks (:mod:`repro.pami.faults`). Real
+networks also exhibit *transient* faults — dropped packets, checksum
+rejects, duplicated deliveries, latency spikes — that a production PGAS
+runtime must absorb with retries rather than surface as process death
+(the resiliency motivation of Section I; cf. the timeout/error-completion
+protocols of scalable MPI-3 RMA implementations).
+
+This module provides the configuration surface:
+
+- :class:`ChaosConfig` — seeded probabilities for drop / corruption /
+  duplication / jitter, optionally restricted to chosen links, plus the
+  detection and transport-retransmit knobs.
+- :class:`FaultPlan` — scheduled fail-stop crashes (``rank`` dies at
+  simulated time ``t``), composing with the transient model.
+- :class:`ChaosEngine` — the runtime object the PAMI layer consults at
+  each transfer. It is only constructed when injection is enabled, so
+  the fast path pays exactly one ``world.chaos is None`` check.
+
+Fault semantics (what the ARMCI retry layer relies on):
+
+- Faults are injected at **request delivery, before any target-side
+  effect** (remote write, AM handler, AMO application). A retried
+  operation therefore applies **exactly once** — the lost attempt never
+  touched the target. Corruption is modeled as a checksum reject at the
+  receiving NIC: the packet is discarded, never written.
+- Reply/ack control packets ride the NIC-reliable path and are not
+  chaos-exposed; only the forward request path rolls the dice.
+- Duplicated deliveries are discarded by sequence-number dedup at the
+  target (they cost handler time but have no semantic effect).
+- Jitter on ordered traffic is clamped per (src, dst) pair so delivery
+  order on a deterministic route stays monotone (head-of-line blocking);
+  AMOs are unordered and take unclamped jitter.
+- Active messages with no reply cookie (notify, unlock, group and
+  tag-matched sends) cannot report loss to their initiator, so the
+  transport retransmits them after :attr:`ChaosConfig.retransmit_delay`,
+  re-rolling the dice up to :attr:`ChaosConfig.max_retransmits` times;
+  the final attempt always delivers (bounded-loss transport, so a
+  ``drop_prob`` of 1.0 cannot livelock the simulation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .errors import ReproError
+from .pami.faults import FAULT_DETECT_DELAY, TransientFault
+
+
+class ChaosError(ReproError):
+    """Invalid chaos configuration or fault plan."""
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ChaosError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Transient-fault injection knobs (all probabilities per transfer).
+
+    ``drop_prob`` and ``corrupt_prob`` are mutually exclusive outcomes of
+    one roll (their sum must stay <= 1); both discard the request before
+    it takes effect, differing only in the reported reason.
+    """
+
+    #: RNG seed: identical configs replay identical fault sequences.
+    seed: int = 0
+    #: Probability a request is silently lost in the network.
+    drop_prob: float = 0.0
+    #: Probability a request is checksum-rejected at the receiving NIC.
+    corrupt_prob: float = 0.0
+    #: Probability a delivered message is delivered twice (the duplicate
+    #: is discarded by sequence-number dedup, costing handler time).
+    dup_prob: float = 0.0
+    #: Probability a transfer takes extra latency.
+    jitter_prob: float = 0.0
+    #: Maximum extra latency per jittered transfer (uniform in [0, max]).
+    jitter_max: float = 0.0
+    #: Restrict injection to these (src, dst) links; None = every link.
+    links: frozenset[tuple[int, int]] | None = None
+    #: Delay before the initiator NIC reports a lost request (timeout /
+    #: error-completion path).
+    detect_delay: float = FAULT_DETECT_DELAY
+    #: Transport retransmit backoff for cookie-less active messages.
+    retransmit_delay: float = 5e-6
+    #: Retransmit budget for cookie-less AMs; the final attempt always
+    #: delivers so injection cannot livelock fire-and-forget traffic.
+    max_retransmits: int = 8
+
+    def __post_init__(self) -> None:
+        _check_prob("drop_prob", self.drop_prob)
+        _check_prob("corrupt_prob", self.corrupt_prob)
+        _check_prob("dup_prob", self.dup_prob)
+        _check_prob("jitter_prob", self.jitter_prob)
+        if self.drop_prob + self.corrupt_prob > 1.0:
+            raise ChaosError(
+                "drop_prob + corrupt_prob must not exceed 1, got "
+                f"{self.drop_prob} + {self.corrupt_prob}"
+            )
+        if self.jitter_max < 0.0:
+            raise ChaosError(f"jitter_max must be >= 0, got {self.jitter_max}")
+        if self.detect_delay < 0.0:
+            raise ChaosError(f"detect_delay must be >= 0, got {self.detect_delay}")
+        if self.retransmit_delay <= 0.0:
+            raise ChaosError(
+                f"retransmit_delay must be > 0, got {self.retransmit_delay}"
+            )
+        if self.max_retransmits < 0:
+            raise ChaosError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}"
+            )
+        if self.links is not None:
+            for pair in self.links:
+                if (
+                    not isinstance(pair, tuple)
+                    or len(pair) != 2
+                    or not all(isinstance(r, int) and r >= 0 for r in pair)
+                ):
+                    raise ChaosError(f"links entries must be (src, dst), got {pair!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any injection can actually occur."""
+        return (
+            self.drop_prob > 0.0
+            or self.corrupt_prob > 0.0
+            or self.dup_prob > 0.0
+            or (self.jitter_prob > 0.0 and self.jitter_max > 0.0)
+        )
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """One scheduled fail-stop crash: ``rank`` dies at simulated ``at``."""
+
+    rank: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ChaosError(f"crash rank must be >= 0, got {self.rank}")
+        if self.at < 0.0:
+            raise ChaosError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of fail-stop crashes, applied when the world is built.
+
+    Chainable: ``FaultPlan().crash(2, at=1e-3).crash(5, at=2e-3)``.
+    """
+
+    crashes: list[RankCrash] = field(default_factory=list)
+
+    def crash(self, rank: int, at: float) -> "FaultPlan":
+        """Schedule ``rank`` to fail at simulated time ``at``."""
+        self.crashes.append(RankCrash(rank, at))
+        return self
+
+
+class ChaosEngine:
+    """Runtime dice-roller consulted by the PAMI transfer paths.
+
+    Constructed by :class:`~repro.pami.world.PamiWorld` only when the
+    config is enabled; every injection site guards with a single
+    ``world.chaos is None`` check, so disabled runs pay no RNG calls.
+    """
+
+    __slots__ = ("config", "trace", "_rng", "_last_deliver")
+
+    def __init__(self, config: ChaosConfig, trace) -> None:
+        self.config = config
+        self.trace = trace
+        self._rng = random.Random(config.seed)
+        #: Per-(src, dst) high-water delivery time for jitter clamping.
+        self._last_deliver: dict[tuple[int, int], float] = {}
+
+    def _applies(self, src: int, dst: int) -> bool:
+        links = self.config.links
+        return links is None or (src, dst) in links
+
+    def transfer_fault(self, src: int, dst: int, kind: str) -> TransientFault | None:
+        """Roll drop/corruption for one request; None = delivered clean."""
+        if not self._applies(src, dst):
+            return None
+        cfg = self.config
+        roll = self._rng.random()
+        if roll < cfg.drop_prob:
+            self.trace.incr("chaos.drops")
+            self.trace.incr(f"chaos.drops.{kind}")
+            return TransientFault("dropped", src, dst)
+        if roll < cfg.drop_prob + cfg.corrupt_prob:
+            self.trace.incr("chaos.corruptions")
+            self.trace.incr(f"chaos.corruptions.{kind}")
+            return TransientFault("corrupted", src, dst)
+        return None
+
+    def duplicate(self, src: int, dst: int) -> bool:
+        """Whether a delivered message is delivered a second time."""
+        if not self._applies(src, dst) or self.config.dup_prob <= 0.0:
+            return False
+        if self._rng.random() < self.config.dup_prob:
+            self.trace.incr("chaos.duplicates")
+            return True
+        return False
+
+    def _jitter(self, src: int, dst: int) -> float:
+        cfg = self.config
+        if (
+            not self._applies(src, dst)
+            or cfg.jitter_prob <= 0.0
+            or cfg.jitter_max <= 0.0
+        ):
+            return 0.0
+        if self._rng.random() < cfg.jitter_prob:
+            self.trace.incr("chaos.jittered")
+            return self._rng.random() * cfg.jitter_max
+        return 0.0
+
+    def ordered_deliver(self, src: int, dst: int, deliver: float) -> float:
+        """Jittered delivery time for *ordered* traffic on (src, dst).
+
+        Clamped monotone per pair: a jittered packet head-of-line blocks
+        later packets on the same deterministic route, so the
+        :class:`~repro.pami.ordering.OrderingChecker` invariant holds.
+        """
+        t = deliver + self._jitter(src, dst)
+        floor = self._last_deliver.get((src, dst))
+        if floor is not None and floor > t:
+            t = floor
+        self._last_deliver[(src, dst)] = t
+        return t
+
+    def unordered_deliver(self, src: int, dst: int, deliver: float) -> float:
+        """Jittered delivery time for unordered traffic (AMOs): no clamp."""
+        return deliver + self._jitter(src, dst)

@@ -54,3 +54,21 @@ class ProcessFailedError(ReproError):
     fault-tolerance extension; cf. Vishnu et al., HiPC 2010 — the
     resiliency motivation in the paper's introduction).
     """
+
+
+class TransientFaultError(ReproError):
+    """A one-sided operation was lost to a *transient* transport fault.
+
+    Unlike :class:`ProcessFailedError` the target is still alive: the
+    NIC reported a dropped or checksum-rejected packet (chaos
+    injection). The operation is safe to retry — faults are injected
+    before any target-side effect, so a retried op applies exactly once.
+    """
+
+
+class RetryExhaustedError(TransientFaultError):
+    """The retry budget for a transient fault was spent without success.
+
+    Subclasses :class:`TransientFaultError` so callers that treat any
+    transient-fault outcome uniformly can catch the base class.
+    """

@@ -68,11 +68,23 @@ class DistributedTaskPool:
     load and the network traffic decentralize — at p=4096 a single
     counter's software service rate is the bottleneck even under the
     asynchronous-thread design.
+
+    **Fault tolerance.** When created with ``backups`` (the default via
+    :meth:`create`), each shard also gets a standby counter on a
+    *different* host. A rank that sees the primary's host fail pushes its
+    local progress watermark (highest successful draw + 1) into the
+    backup with a ``fetch_max`` merge, then keeps drawing from the
+    backup. Because every survivor max-merges before its first backup
+    draw, the backup converges to the furthest progress any survivor
+    observed; a task drawn concurrently around the failure may run twice
+    (at-least-once semantics), but no undrawn task is skipped. A shard is
+    lost only when primary *and* backup hosts are both dead.
     """
 
     counters: list[SharedCounter]
     ntasks: int
     chunk: int = 1
+    backups: list[SharedCounter] | None = None
 
     def __post_init__(self) -> None:
         if not self.counters:
@@ -81,6 +93,11 @@ class DistributedTaskPool:
             raise ArmciError(f"need >= 1 task, got {self.ntasks}")
         if self.chunk < 1:
             raise ArmciError(f"chunk must be >= 1, got {self.chunk}")
+        if self.backups is not None and len(self.backups) != len(self.counters):
+            raise ArmciError(
+                f"backup/primary arity mismatch: {len(self.backups)} backups "
+                f"for {len(self.counters)} counters"
+            )
 
     @classmethod
     def create(
@@ -89,21 +106,29 @@ class DistributedTaskPool:
         ntasks: int,
         num_counters: int,
         chunk: int = 1,
+        fault_tolerant: bool = True,
     ) -> Generator[Any, Any, "DistributedTaskPool"]:
         """Collective creation; counter ``s`` lives on a distinct host
         (strided across the job so hosts land on different nodes when
-        possible)."""
+        possible). With ``fault_tolerant`` (and more than one process) a
+        standby counter per shard is placed on the next rank over."""
         if num_counters < 1:
             raise ArmciError(f"need >= 1 counter, got {num_counters}")
         p = rt.world.num_procs
         num_counters = min(num_counters, p)
         stride = max(1, p // num_counters)
         counters = []
+        backups: list[SharedCounter] | None = (
+            [] if fault_tolerant and p > 1 else None
+        )
         for s in range(num_counters):
             host = (s * stride) % p
             counter = yield from SharedCounter.create(rt, host=host)
             counters.append(counter)
-        return cls(counters, ntasks, chunk)
+            if backups is not None:
+                backup = yield from SharedCounter.create(rt, host=(host + 1) % p)
+                backups.append(backup)
+        return cls(counters, ntasks, chunk, backups)
 
     @property
     def num_counters(self) -> int:
@@ -116,20 +141,54 @@ class DistributedTaskPool:
         hi = lo + base + (1 if shard < extra else 0)
         return lo, hi
 
+    def _shard_counter(self, rt: "ArmciProcess", shard: int) -> SharedCounter:
+        failed_over: set[int] = rt._dtp_state[3]
+        if shard in failed_over and self.backups is not None:
+            return self.backups[shard]
+        return self.counters[shard]
+
+    def _fail_over(
+        self, rt: "ArmciProcess", shard: int
+    ) -> Generator[Any, Any, bool]:
+        """Switch a shard to its backup counter; ``False`` if unrecoverable.
+
+        Pushes this rank's watermark (highest draw it has seen succeed
+        plus one) into the backup with a ``fetch_max`` so the standby
+        resumes from the furthest progress any survivor can vouch for.
+        """
+        _pool, _drained, watermarks, failed_over = rt._dtp_state
+        if self.backups is None or shard in failed_over:
+            # No standby, or the standby is the counter that just died.
+            return False
+        backup = self.backups[shard]
+        try:
+            yield from rt.rmw(
+                backup.host, backup.addr, "fetch_max", watermarks.get(shard, 0)
+            )
+        except ProcessFailedError:
+            return False
+        failed_over.add(shard)
+        rt.trace.incr("gax.pool_shards_failed_over")
+        return True
+
     def next_range(
         self, rt: "ArmciProcess"
     ) -> Generator[Any, Any, tuple[int, int] | None]:
         """Claim a range from the home shard, stealing once it drains.
 
         Per-rank probe state lives on ``rt`` (each rank remembers which
-        shards it has seen drained).
+        shards it has seen drained, how far each shard had advanced, and
+        which shards it has failed over to their backup counters).
         """
         g = self.num_counters
         state = getattr(rt, "_dtp_state", None)
         if state is None or state[0] is not self:
-            state = (self, set())  # (pool identity, drained shards)
+            # (pool identity, drained shards, per-shard watermark,
+            #  shards running on their backup counter)
+            state = (self, set(), {}, set())
             rt._dtp_state = state
         drained: set[int] = state[1]
+        watermarks: dict[int, int] = state[2]
         home = rt.rank % g
         for probe in range(g):
             shard = (home + probe) % g
@@ -137,31 +196,43 @@ class DistributedTaskPool:
                 continue
             lo, hi = self._shard_bounds(shard)
             shard_tasks = hi - lo
-            try:
-                draw = yield from self.counters[shard].next(rt)
-            except ProcessFailedError:
-                # The shard's counter host died: its undrawn tasks are
-                # lost to this pool (a recovering runtime would rebuild
-                # the counter elsewhere); keep draining healthy shards.
-                drained.add(shard)
-                rt.trace.incr("gax.pool_shards_lost")
-                continue
-            offset = draw * self.chunk
-            if offset >= shard_tasks:
-                drained.add(shard)
+            while True:
+                counter = self._shard_counter(rt, shard)
+                try:
+                    draw = yield from counter.next(rt)
+                except ProcessFailedError:
+                    recovered = yield from self._fail_over(rt, shard)
+                    if recovered:
+                        continue
+                    # Primary and backup hosts both dead (or no backup):
+                    # the shard's undrawn tasks are lost to this pool.
+                    drained.add(shard)
+                    rt.trace.incr("gax.pool_shards_lost")
+                    break
+                if draw + 1 > watermarks.get(shard, 0):
+                    watermarks[shard] = draw + 1
+                offset = draw * self.chunk
+                if offset >= shard_tasks:
+                    drained.add(shard)
+                    if probe > 0:
+                        rt.trace.incr("gax.pool_steal_misses")
+                    break
                 if probe > 0:
-                    rt.trace.incr("gax.pool_steal_misses")
-                continue
-            if probe > 0:
-                rt.trace.incr("gax.pool_steals")
-            return lo + offset, min(lo + offset + self.chunk, hi)
+                    rt.trace.incr("gax.pool_steals")
+                return lo + offset, min(lo + offset + self.chunk, hi)
         return None
 
     def reset(self, rt: "ArmciProcess") -> Generator[Any, Any, None]:
         """Reset every counter (call from exactly one rank, then have
-        **all** ranks call :meth:`reset_local` before the next round)."""
-        for counter in self.counters:
-            yield from counter.reset(rt)
+        **all** ranks call :meth:`reset_local` before the next round).
+
+        Counters on dead hosts are skipped; each rank rediscovers the
+        failover in the next round's first draw against the shard."""
+        for counter in self.counters + (self.backups or []):
+            try:
+                yield from counter.reset(rt)
+            except ProcessFailedError:
+                rt.trace.incr("gax.pool_reset_skipped_dead")
         self.reset_local(rt)
 
     def reset_local(self, rt: "ArmciProcess") -> None:

@@ -75,6 +75,28 @@ class AmItem(WorkItem):
         _flt.fail_am_replies(world, self.envelope, dead_rank)
 
 
+class DuplicateAmItem(WorkItem):
+    """A chaos-duplicated delivery, discarded by sequence-number dedup.
+
+    Costs the target the same dispatch + copy time as the original but
+    has no semantic effect — modeling a transport whose reliability
+    layer detects the replayed sequence number after pulling the packet
+    off the NIC.
+    """
+
+    __slots__ = ("envelope",)
+
+    def __init__(self, envelope: AmEnvelope) -> None:
+        self.envelope = envelope
+
+    def cost(self, ctx: PamiContext) -> float:
+        p = ctx.params
+        return p.am_handler_time + self.envelope.payload_bytes * p.shm_byte_time
+
+    def execute(self, ctx: PamiContext) -> None:
+        ctx.trace.incr("pami.am_duplicates_discarded")
+
+
 @dataclass(frozen=True)
 class AmOp:
     """Handle to one posted active message."""
@@ -104,10 +126,16 @@ def send_am(
     timing = world.network.am_payload_timing(src, dst_rank, env.payload_bytes)
     engine = world.engine
     now = engine.now
-    world.ordering.record(src, dst_rank, timing.deliver)
+
+    chaos = world.chaos
+    deliver_at = timing.deliver
+    if chaos is not None:
+        deliver_at = chaos.ordered_deliver(src, dst_rank, timing.deliver)
+    world.ordering.record(src, dst_rank, deliver_at)
 
     target_client = world.client(dst_rank)
     local_event = engine.event(f"am.local.{src}->{dst_rank}")
+    attempts = [0]
 
     def deliver(_arg) -> None:
         if world.is_failed(dst_rank):
@@ -115,19 +143,40 @@ def send_am(
 
             _flt.fail_am_replies(world, env, dst_rank)
             return
+        if chaos is not None:
+            attempts[0] += 1
+            fault = None
+            if attempts[0] <= chaos.config.max_retransmits:
+                # The final retransmit always delivers (bounded loss), so
+                # fire-and-forget traffic cannot livelock under chaos.
+                fault = chaos.transfer_fault(src, dst_rank, "am")
+            if fault is not None:
+                from . import faults as _flt
+
+                failed = _flt.fail_reply_cookies(
+                    world, env, fault, chaos.config.detect_delay
+                )
+                if failed == 0:
+                    # No reply cookies: the initiator can't observe the
+                    # loss, so the transport retransmits.
+                    world.trace.incr("chaos.retransmits")
+                    engine.schedule(chaos.config.retransmit_delay, deliver)
+                return
         if target_context is not None:
             dst_ctx = target_client.context(target_context)
         else:
             dst_ctx = target_client.progress_context()
         dst_ctx.post(AmItem(env))
+        if chaos is not None and chaos.duplicate(src, dst_rank):
+            dst_ctx.post(DuplicateAmItem(env))
 
-    engine.schedule(timing.deliver - now, deliver)
+    engine.schedule(deliver_at - now, deliver)
     engine.schedule(
         timing.inject_done - now,
         lambda _arg: ctx.post(CompletionItem(local_event)),
     )
     world.trace.incr("pami.am_sent")
-    return AmOp(env, local_event, timing.deliver)
+    return AmOp(env, local_event, deliver_at)
 
 
 def send_am_immediate(

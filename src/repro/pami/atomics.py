@@ -39,6 +39,9 @@ RMW_OPS: dict[str, RmwFunc] = {
     "compare_swap": lambda old, a, b: b if old == a else old,
     # Pure read (used for counter inspection).
     "fetch": lambda old, _a, _b: old,
+    # Monotone max-merge (idempotent; used by CRDT-style watermark
+    # recovery in the fault-tolerant task pool).
+    "fetch_max": lambda old, a, _b: old if old >= a else a,
 }
 
 #: Hardware NIC service time per AMO in the what-if model (Gemini-class).
@@ -156,6 +159,20 @@ def rmw(
     arrive = world.network.packet_arrival(src, dst_rank)
     now = engine.now
     world.trace.incr("pami.rmw_posted")
+
+    chaos = world.chaos
+    if chaos is not None:
+        # AMOs are unordered (Section III-A.4): unclamped jitter.
+        arrive = chaos.unordered_deliver(src, dst_rank, arrive)
+        fault = chaos.transfer_fault(src, dst_rank, "rmw")
+        if fault is not None:
+            # Request lost before the op was applied — retry-safe: the
+            # fetch_add/swap never happened at the target.
+            engine.schedule(
+                arrive + chaos.config.detect_delay - now,
+                lambda _a: ctx.post(CompletionItem(event, fault)),
+            )
+            return RmwOp(op, src, dst_rank, addr, event)
 
     if world.nic_amo_support:
         # What-if hardware path: the target NIC applies the op directly,

@@ -12,26 +12,54 @@ tests and benchmarks *fail* a simulated process:
   at the initiator — the semantics a fault-tolerant runtime needs:
   remote failure must not hang healthy processes' one-sided traffic.
 
-Collectives involving a failed rank hang by design (as they do on real
-machines without a fault-tolerant collective layer).
+Two token kinds flow through completion-event values:
+
+- :class:`Failure` — fail-stop: the target process is dead. Surfaced as
+  :class:`~repro.errors.ProcessFailedError`; not retryable.
+- :class:`TransientFault` — the request was lost in transit (chaos
+  injection, :mod:`repro.chaos`) but the target lives. Surfaced as
+  :class:`~repro.errors.TransientFaultError`; the ARMCI retry layer
+  re-issues such operations with exponential backoff.
+
+Collectives involving a failed rank no longer hang: the ARMCI layer's
+epoch-based liveness detection (:mod:`repro.armci.collectives`) fails
+the survivors' barrier events with :class:`Failure` after the detection
+delay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import ProcessFailedError
+from ..errors import ProcessFailedError, TransientFaultError
+from ..sim.event import Event
 
 
 @dataclass(frozen=True)
 class Failure:
-    """Failure token delivered through a completion event's value."""
+    """Fail-stop token delivered through a completion event's value."""
 
     dead_rank: int
 
     def to_exception(self) -> ProcessFailedError:
         return ProcessFailedError(
             f"one-sided operation targeted failed rank {self.dead_rank}"
+        )
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """Transient-loss token: the request from ``src`` to ``dst`` was
+    dropped or checksum-rejected before taking effect. Retry-safe."""
+
+    reason: str
+    src: int
+    dst: int
+
+    def to_exception(self) -> TransientFaultError:
+        return TransientFaultError(
+            f"request {self.src}->{self.dst} {self.reason} in transit "
+            "(transient; safe to retry)"
         )
 
 
@@ -43,7 +71,7 @@ FAULT_DETECT_DELAY = 25e-6
 def check_completion(value):
     """Raise if a completion value carries a failure token; else pass it
     through. Used by every ARMCI wait path."""
-    if isinstance(value, Failure):
+    if isinstance(value, (Failure, TransientFault)):
         raise value.to_exception()
     return value
 
@@ -52,24 +80,58 @@ def check_completion(value):
 REPLY_KEYS = ("event", "ack", "grant", "reply")
 
 
-def fail_am_replies(world, envelope, dead_rank: int) -> None:
-    """Fail every reply cookie of an active message lost to a dead rank.
+def _collect_reply_cookies(header, reply_ctx, out) -> None:
+    """Gather (reply_ctx, event) pairs from a header, recursing into
+    forwarded envelopes and nested containers.
 
-    The initiator's events fire with :class:`Failure` after the detection
-    delay, through the reply context recorded in the envelope, so waiting
-    healthy processes raise instead of hanging.
+    A forwarded envelope (an AM carried inside another AM's header, as
+    forwarding/redirect protocols do) may name its own ``reply_ctx``;
+    cookies under it reply there, falling back to the enclosing one.
     """
-    reply_ctx = envelope.header.get("reply_ctx")
-    if reply_ctx is None:
-        return
+    ctx = header.get("reply_ctx", reply_ctx)
+    for key, value in header.items():
+        if key != "reply_ctx":
+            _scan_cookie_value(key, value, ctx, out)
+
+
+def _scan_cookie_value(key, value, ctx, out) -> None:
+    if isinstance(value, Event):
+        if key in REPLY_KEYS and ctx is not None and not value.triggered:
+            out.append((ctx, value))
+    elif isinstance(value, dict):
+        _collect_reply_cookies(value, ctx, out)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _scan_cookie_value(key, item, ctx, out)
+    elif hasattr(value, "header") and hasattr(value, "dispatch_id"):
+        # A forwarded AmEnvelope nested in this header.
+        _collect_reply_cookies(value.header, ctx, out)
+
+
+def fail_reply_cookies(world, envelope, token, delay=FAULT_DETECT_DELAY) -> int:
+    """Fail every reply cookie of a lost active message with ``token``.
+
+    Scans the envelope header recursively (cookies may sit inside
+    forwarded envelopes or nested descriptors). Each cookie fires with
+    ``token`` after ``delay`` through its reply context, so waiting
+    healthy processes raise instead of hanging. Returns the number of
+    cookies failed — 0 means the message was fire-and-forget and loss
+    must be handled by the transport (retransmit) instead.
+    """
+    pending: list = []
+    _collect_reply_cookies(envelope.header, None, pending)
+    if not pending:
+        return 0
     from .context import CompletionItem
 
-    for key in REPLY_KEYS:
-        cookie = envelope.header.get(key)
-        if cookie is not None and not cookie.triggered:
-            world.engine.schedule(
-                FAULT_DETECT_DELAY,
-                lambda _a, ev=cookie: reply_ctx.post(
-                    CompletionItem(ev, Failure(dead_rank))
-                ),
-            )
+    for reply_ctx, cookie in pending:
+        world.engine.schedule(
+            delay,
+            lambda _a, c=reply_ctx, ev=cookie: c.post(CompletionItem(ev, token)),
+        )
+    return len(pending)
+
+
+def fail_am_replies(world, envelope, dead_rank: int) -> None:
+    """Fail every reply cookie of an active message lost to a dead rank."""
+    fail_reply_cookies(world, envelope, Failure(dead_rank))

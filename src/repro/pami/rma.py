@@ -82,21 +82,35 @@ def rdma_put(
         engine.event(f"put.rack.{src}->{dst_rank}") if want_remote_ack else None
     )
 
-    world.ordering.record(src, dst_rank, timing.deliver)
+    chaos = world.chaos
+    deliver_at = timing.deliver
+    fault = None
+    if chaos is not None:
+        fault = chaos.transfer_fault(src, dst_rank, "put")
+        deliver_at = chaos.ordered_deliver(src, dst_rank, timing.deliver)
+    world.ordering.record(src, dst_rank, deliver_at)
 
     def deliver(_arg) -> None:
-        if world.is_failed(dst_rank):
-            return  # dropped at the dead NIC; the ack path reports it
+        if fault is not None or world.is_failed(dst_rank):
+            return  # dropped: lost in transit, or at the dead NIC
         world.space(dst_rank).write(remote_addr, data)
 
-    engine.schedule(timing.deliver - now, deliver)
-    engine.schedule(
-        timing.complete - now,
-        lambda _arg: ctx.post(CompletionItem(local_event)),
-    )
+    engine.schedule(deliver_at - now, deliver)
+    if fault is not None:
+        # The initiator NIC misses the end-to-end delivery confirmation
+        # and reports an error completion on the op after its timeout.
+        engine.schedule(
+            timing.complete + chaos.config.detect_delay - now,
+            lambda _arg: ctx.post(CompletionItem(local_event, fault)),
+        )
+    else:
+        engine.schedule(
+            timing.complete - now,
+            lambda _arg: ctx.post(CompletionItem(local_event)),
+        )
     if remote_ack is not None:
         hops = world.network.hops(src, dst_rank)
-        ack_arrive = timing.deliver + hops * world.params.hop_latency
+        ack_arrive = deliver_at + hops * world.params.hop_latency
 
         def ack(_arg) -> None:
             if world.is_failed(dst_rank):
@@ -139,23 +153,37 @@ def rdma_get(
     local_event = engine.event(f"get.local.{src}<-{dst_rank}")
     snapshot: list[bytes] = []
 
+    chaos = world.chaos
+    deliver_at = timing.deliver
+    fault = None
+    if chaos is not None:
+        fault = chaos.transfer_fault(src, dst_rank, "get")
+        # Gets bypass the ordering checker (NIC-served reads), so their
+        # jitter needs no per-pair clamping.
+        deliver_at = chaos.unordered_deliver(src, dst_rank, timing.deliver)
+
     def read_remote(_arg) -> None:
-        if not world.is_failed(dst_rank):
+        if fault is None and not world.is_failed(dst_rank):
             snapshot.append(world.space(dst_rank).read(remote_addr, nbytes))
 
     def complete(_arg) -> None:
-        if not snapshot:  # target NIC dead: error completion after timeout
+        if not snapshot:
+            # Lost request (transient) or dead target NIC (fail-stop):
+            # error completion after the detection timeout.
+            if fault is not None:
+                token, delay = fault, chaos.config.detect_delay
+            else:
+                token, delay = _flt.Failure(dst_rank), _flt.FAULT_DETECT_DELAY
             engine.schedule(
-                _flt.FAULT_DETECT_DELAY,
-                lambda _a: ctx.post(
-                    CompletionItem(local_event, _flt.Failure(dst_rank))
-                ),
+                delay,
+                lambda _a: ctx.post(CompletionItem(local_event, token)),
             )
             return
         world.space(src).write(local_addr, snapshot[0])
         ctx.post(CompletionItem(local_event))
 
-    engine.schedule(timing.deliver - now, read_remote)
-    engine.schedule(timing.complete - now, complete)
+    # Jitter delays the whole round trip: the reply lands later too.
+    engine.schedule(deliver_at - now, read_remote)
+    engine.schedule(timing.complete + (deliver_at - timing.deliver) - now, complete)
     world.trace.incr("pami.rdma_gets")
     return RmaOp("get", src, dst_rank, nbytes, local_event, None, timing)

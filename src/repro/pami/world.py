@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..errors import PamiError
 from ..machine.bgq import BGQParams
 from ..machine.network import TorusNetwork
@@ -13,6 +15,9 @@ from .client import PamiClient
 from .memory import AddressSpace
 from .memregion import MemoryRegionRegistry
 from .ordering import OrderingChecker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chaos import ChaosConfig, FaultPlan
 
 
 class PamiWorld:
@@ -35,6 +40,14 @@ class PamiWorld:
     nic_amo_support:
         If True, model a NIC with hardware fetch-and-add (the Gemini-like
         "future Blue Gene" what-if from the paper's conclusions).
+    chaos:
+        Optional :class:`~repro.chaos.ChaosConfig` enabling transient
+        fault injection on the transport (see :mod:`repro.chaos`). When
+        absent or disabled, ``self.chaos`` is None and every injection
+        site short-circuits on that single check.
+    fault_plan:
+        Optional :class:`~repro.chaos.FaultPlan` of scheduled fail-stop
+        crashes, applied via :meth:`fail_rank` at the planned times.
     """
 
     def __init__(
@@ -48,6 +61,8 @@ class PamiWorld:
         link_contention: bool = False,
         trace: Trace | None = None,
         engine: Engine | None = None,
+        chaos: "ChaosConfig | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if num_procs < 1:
             raise PamiError(f"need at least one process, got {num_procs}")
@@ -84,6 +99,25 @@ class PamiWorld:
         self._nic_amo_free: dict[int, float] = {}
         #: Ranks failed via :meth:`fail_rank` (fault-tolerance extension).
         self.failed_ranks: set[int] = set()
+        #: Callbacks invoked with the rank on every :meth:`fail_rank`.
+        self._failure_listeners: list = []
+        #: Chaos engine (transient fault injection); None = disabled.
+        self.chaos = None
+        if chaos is not None and chaos.enabled:
+            from ..chaos import ChaosEngine
+
+            self.chaos = ChaosEngine(chaos, self.trace)
+        if fault_plan is not None:
+            for crash in fault_plan.crashes:
+                if not 0 <= crash.rank < num_procs:
+                    raise PamiError(
+                        f"fault plan crashes rank {crash.rank}, job has "
+                        f"{num_procs} processes"
+                    )
+                self.engine.schedule(
+                    crash.at - self.engine.now,
+                    lambda _a, r=crash.rank: self.fail_rank(r),
+                )
 
     def client(self, rank: int) -> PamiClient:
         """Client of ``rank`` with bounds checking."""
@@ -102,18 +136,27 @@ class PamiWorld:
 
         One-sided operations already in flight or posted later complete
         with failure tokens at their initiators (see
-        :mod:`repro.pami.faults`). Does not stop the rank's main-thread
-        process if one is running — kill it at a quiescent point (e.g.
-        while it computes), as a real node loss would.
+        :mod:`repro.pami.faults`). Failure listeners registered via
+        :meth:`on_rank_failed` run afterwards — the ARMCI job uses them
+        to kill the rank's main-thread process and to break collectives
+        the dead rank participated in. Idempotent.
         """
         if not 0 <= rank < self.num_procs:
             raise PamiError(f"rank {rank} out of range [0, {self.num_procs})")
+        if rank in self.failed_ranks:
+            return
         self.failed_ranks.add(rank)
         for ctx in self.clients[rank].contexts:
             while len(ctx.queue):
                 item = ctx.queue.get_nowait()
                 item.on_dropped(self, rank)
         self.trace.incr("pami.ranks_failed")
+        for listener in list(self._failure_listeners):
+            listener(rank)
+
+    def on_rank_failed(self, callback) -> None:
+        """Register ``callback(rank)`` to run whenever a rank fails."""
+        self._failure_listeners.append(callback)
 
     def is_failed(self, rank: int) -> bool:
         """Whether ``rank`` has been failed (non-generator)."""

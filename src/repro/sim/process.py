@@ -26,7 +26,7 @@ class SimProcess:
     Processes are created via :meth:`Engine.spawn`, not directly.
     """
 
-    __slots__ = ("engine", "name", "body", "done", "daemon", "_started")
+    __slots__ = ("engine", "name", "body", "done", "daemon", "_started", "_killed")
 
     def __init__(
         self, engine: "Engine", body: ProcessBody, name: str, daemon: bool
@@ -43,6 +43,7 @@ class SimProcess:
         #: Triggers with the generator's return value on completion.
         self.done = Event(engine, name=f"{name}.done")
         self._started = False
+        self._killed = False
 
     def start(self) -> None:
         """Schedule the first step at the current simulated time."""
@@ -51,15 +52,40 @@ class SimProcess:
         self._started = True
         self.engine.schedule(0.0, self._step, None)
 
+    def kill(self) -> None:
+        """Terminate the process (fail-stop crash): ``done`` fires with
+        ``None`` and the generator never runs again.
+
+        Safe to call from within the process's own frame (a rank failing
+        itself): the generator can't be closed while executing, so the
+        kill flag suppresses any further stepping once it yields or
+        returns.
+        """
+        if self._killed or self.done.triggered:
+            return
+        self._killed = True
+        try:
+            self.body.close()
+        except (ValueError, RuntimeError):
+            pass  # generator currently executing (self-kill)
+        self.engine.process_finished(self)
+        self.done.succeed(None)
+
     # The engine resumes us through this callback.
     def _step(self, send_value: Any) -> None:
+        if self._killed:
+            return
         try:
             command = self.body.send(send_value)
         except StopIteration as stop:
+            if self._killed:
+                return
             self.engine.process_finished(self)
             self.done.succeed(stop.value)
             return
         except Exception as exc:
+            if self._killed:
+                return
             self.engine.process_finished(self)
             self.engine.fail(
                 SimulationError(f"process {self.name!r} raised {exc!r}"), cause=exc
@@ -68,6 +94,8 @@ class SimProcess:
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
+        if self._killed:
+            return
         if isinstance(command, Delay):
             self.engine.schedule(command.dt, self._step, None)
         elif isinstance(command, WaitEvent):
