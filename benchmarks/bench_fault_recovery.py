@@ -12,7 +12,16 @@ production runtime:
   survivors observe ``ProcessFailedError`` instead of hanging? And how
   quickly does the distributed task pool resume drawing from a shard
   whose counter host died?
+- **Degradation under exhaustion**: how do message rate and the
+  AM-fallback fraction move as the injection-FIFO depth and the
+  memory-region budget shrink? (The resource-resilience layer's
+  saturation sweep: backpressure should throttle, not deadlock, and a
+  starved registration budget should shift traffic to Eq. 8.)
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a reduced sweep (CI smoke mode).
 """
+
+import os
 
 from _report import save
 
@@ -21,8 +30,10 @@ from repro.chaos import ChaosConfig, FaultPlan
 from repro.errors import ProcessFailedError
 from repro.util import render_table, us
 
-DROP_PROBS = (0.0, 0.01, 0.05, 0.10)
-TRANSFERS = 64
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+DROP_PROBS = (0.0, 0.01) if SMOKE else (0.0, 0.01, 0.05, 0.10)
+TRANSFERS = 16 if SMOKE else 64
 NBYTES = 4096
 
 
@@ -171,6 +182,149 @@ def test_crash_recovery_time(benchmark):
             title=(
                 "Crash recovery: mid-barrier detection at 7 survivors "
                 "(8 procs) and sharded-pool counter failover (4 procs)"
+            ),
+        ),
+    )
+
+
+# ------------------------------------------------- saturation sweep
+
+
+FIFO_DEPTHS = (None, 4) if SMOKE else (None, 2, 4, 8, 16, 64)
+MEMREGION_BUDGETS = (None, 2) if SMOKE else (None, 1, 2, 3, 4, 8)
+BURST = 8 if SMOKE else 32
+SWEEP_NBYTES = 1024
+SRC_SEGMENTS = 2 if SMOKE else 6
+
+
+def _run_fifo_sweep(depth):
+    """Burst of non-blocking AM puts against a bounded reception FIFO.
+
+    All traffic takes the credited AM path (``use_rdma=False``), so a
+    shallow FIFO forces the sender into backpressure mid-burst.
+    """
+    cfg = ArmciConfig.async_thread_mode(use_rdma=False, fifo_depth=depth)
+    job = ArmciJob(2, config=cfg, procs_per_node=1)
+    job.init()
+    elapsed = {}
+
+    def body(rt):
+        alloc = yield from rt.malloc(SWEEP_NBYTES)
+        yield from rt.barrier()
+        if rt.rank == 0:
+            src = rt.world.space(0).allocate(SWEEP_NBYTES)
+            t0 = rt.engine.now
+            for _i in range(BURST):
+                yield from rt.nbput(1, src, alloc.addr(1), SWEEP_NBYTES)
+            yield from rt.wait_all()
+            yield from rt.fence(1)
+            elapsed["t"] = rt.engine.now - t0
+        yield from rt.barrier()
+
+    job.run(body)
+    rate = BURST / elapsed["t"]
+    return rate, job.trace
+
+
+def _run_budget_sweep(budget):
+    """Round-robin puts from many source segments under a region budget.
+
+    Each distinct segment wants its own registration; once the budget is
+    spent, further segments degrade to the AM fall-back (Eq. 8).
+    """
+    cfg = ArmciConfig.async_thread_mode(memregion_budget=budget)
+    job = ArmciJob(2, config=cfg, procs_per_node=1)
+    job.init()
+    elapsed = {}
+
+    def body(rt):
+        alloc = yield from rt.malloc(SWEEP_NBYTES)
+        yield from rt.barrier()
+        if rt.rank == 0:
+            srcs = [
+                rt.world.space(0).allocate(SWEEP_NBYTES)
+                for _i in range(SRC_SEGMENTS)
+            ]
+            t0 = rt.engine.now
+            for i in range(BURST):
+                src = srcs[i % SRC_SEGMENTS]
+                yield from rt.put(1, src, alloc.addr(1), SWEEP_NBYTES)
+            yield from rt.fence(1)
+            elapsed["t"] = rt.engine.now - t0
+        yield from rt.barrier()
+
+    job.run(body)
+    rate = BURST / elapsed["t"]
+    return rate, job.trace
+
+
+def test_saturation_sweep(benchmark):
+    """Message rate and AM-fallback fraction vs FIFO depth and budget."""
+
+    def run():
+        fifo = {d: _run_fifo_sweep(d) for d in FIFO_DEPTHS}
+        budget = {b: _run_budget_sweep(b) for b in MEMREGION_BUDGETS}
+        return fifo, budget
+
+    fifo, budget = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fifo_rows = []
+    base_rate, _ = fifo[None]
+    for depth, (rate, trace) in fifo.items():
+        fifo_rows.append([
+            "unbounded" if depth is None else depth,
+            f"{rate / 1e6:.3f}",
+            f"{rate / base_rate:.2f}x",
+            trace.count("armci.backpressure_stalls"),
+            f"{us(trace.time('armci.backpressure_time')):.1f}",
+        ])
+    # Bounded FIFOs throttle but never deadlock: every sweep completed,
+    # and shallow depths actually exercised backpressure.
+    shallowest = min(d for d in FIFO_DEPTHS if d is not None)
+    assert fifo[shallowest][1].count("armci.backpressure_stalls") > 0
+    assert fifo[None][1].count("armci.backpressure_stalls") == 0
+
+    budget_rows = []
+    base_rate, _ = budget[None]
+    for b, (rate, trace) in budget.items():
+        rdma = trace.count("armci.put_rdma")
+        fallback = trace.count("armci.put_fallback")
+        frac = fallback / (rdma + fallback) if rdma + fallback else 0.0
+        budget_rows.append([
+            "unbounded" if b is None else b,
+            f"{rate / 1e6:.3f}",
+            f"{rate / base_rate:.2f}x",
+            f"{frac:.2f}",
+            trace.count("armci.region_budget_reclaims"),
+        ])
+    # An unbounded budget never falls back; a starved one must.
+    assert budget_rows[0][3] == "0.00"
+    tightest = min(b for b in MEMREGION_BUDGETS if b is not None)
+    t_rdma = budget[tightest][1].count("armci.put_rdma")
+    t_fb = budget[tightest][1].count("armci.put_fallback")
+    assert t_fb > 0 and t_fb / (t_rdma + t_fb) >= 0.5
+
+    save(
+        "fault_recovery_fifo_saturation",
+        render_table(
+            ["fifo depth", "rate (Mmsg/s)", "vs unbounded",
+             "backpressure stalls", "stall time (us)"],
+            fifo_rows,
+            title=(
+                f"Message rate vs injection-FIFO depth: burst of {BURST} x "
+                f"{SWEEP_NBYTES} B AM puts (AT mode, RDMA off)"
+            ),
+        ),
+    )
+    save(
+        "fault_recovery_budget_degradation",
+        render_table(
+            ["memregion budget", "rate (Mmsg/s)", "vs unbounded",
+             "AM-fallback fraction", "cache reclaims"],
+            budget_rows,
+            title=(
+                f"Protocol degradation vs memory-region budget: {BURST} "
+                f"puts round-robin over {SRC_SEGMENTS} source segments"
             ),
         ),
     )

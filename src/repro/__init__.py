@@ -13,7 +13,7 @@ Most users start with::
 """
 
 from .armci import ArmciConfig, ArmciJob, ArmciProcess
-from .chaos import ChaosConfig, FaultPlan, RankCrash
+from .chaos import ChaosConfig, FaultPlan, RankCrash, ResourceFault
 from .machine import BGQParams
 
 __version__ = "1.0.0"
@@ -26,5 +26,6 @@ __all__ = [
     "ChaosConfig",
     "FaultPlan",
     "RankCrash",
+    "ResourceFault",
     "__version__",
 ]

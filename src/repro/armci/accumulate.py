@@ -39,17 +39,20 @@ def nbacc(
     ctx = rt.main_context
     ack = world.engine.event(f"acc.ack.{rt.rank}->{dst}")
     flops_cost = (nbytes // 8) * world.params.acc_flop_time
+    header = {
+        "addr": remote_addr,
+        "scale": scale,
+        "ack": ack,
+        "reply_ctx": ctx,
+        "_cost": flops_cost,
+    }
+    if rt.flow_enabled:
+        header["_credit"] = True
     op = send_am(
         ctx,
         dst,
         _ACC_REQUEST_ID,
-        header={
-            "addr": remote_addr,
-            "scale": scale,
-            "ack": ack,
-            "reply_ctx": ctx,
-            "_cost": flops_cost,
-        },
+        header=header,
         payload=data,
     )
     handle.add_event(op.local_event)

@@ -154,14 +154,22 @@ class FailureDetector:
         self._watches = keep
 
 
-def barrier(rt: "ArmciProcess") -> Generator[Any, Any, None]:
+def barrier(
+    rt: "ArmciProcess", deadline: float | None = None
+) -> Generator[Any, Any, None]:
     """ARMCI barrier: hardware sync + progress while waiting.
 
     Raises :class:`~repro.errors.ProcessFailedError` if a participant
-    died — the epoch-based liveness check above — instead of deadlocking.
+    died — the epoch-based liveness check above — instead of deadlocking,
+    and :class:`~repro.errors.DeadlineExceededError` if ``deadline``
+    (or the ambient/default deadline when None) passes first.
     """
+    if deadline is None:
+        deadline = rt._op_deadline(None)
     release = rt.job.hw_barrier.arrive(rt.rank)
-    value = yield from rt.main_context.wait_with_progress(release)
+    value = yield from rt.main_context.wait_with_progress(
+        release, deadline=deadline
+    )
     check_completion(value)
     rt.trace.incr("armci.barriers")
 

@@ -84,6 +84,29 @@ class ArmciConfig:
     retry:
         :class:`RetryPolicy` applied by blocking operations to transient
         transport faults (only reachable under chaos injection).
+    fifo_depth:
+        Injection/reception FIFO slots per progress context. ``None`` =
+        unbounded (the seed model). Bounded, every request-class active
+        message consumes a flow-control credit against the target's
+        progress context; senders with no credit park on a room signal
+        (sender-side backpressure) instead of queueing unboundedly.
+    memregion_budget:
+        Per-rank memory-region registration budget (slots shared between
+        local registrations and the remote-region cache). Exhaustion
+        degrades contiguous/strided transfers to the active-message
+        fall-back path (Eqs. 7–8); ``RegionCache`` eviction frees budget
+        under pressure. ``None`` = unbounded.
+    default_deadline:
+        Deadline (seconds of simulated time, relative to each top-level
+        blocking call) applied when no explicit ``timeout=`` is given.
+        Expiry raises :class:`~repro.errors.DeadlineExceededError`
+        instead of hanging. ``None`` = wait forever.
+    watchdog_period:
+        Heartbeat period of the progress watchdog (requires
+        ``async_thread``). If the progress context has pending work and
+        its service epoch does not advance for a full period, the async
+        progress thread is declared stalled and progress duty fails over
+        to a main-thread-driven loop. ``None`` = no watchdog.
     """
 
     async_thread: bool = False
@@ -94,6 +117,10 @@ class ArmciConfig:
     strided_protocol: str = "zero_copy"
     tall_skinny_threshold: int = 128
     retry: RetryPolicy = RetryPolicy()
+    fifo_depth: int | None = None
+    memregion_budget: int | None = None
+    default_deadline: float | None = None
+    watchdog_period: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_contexts < 1:
@@ -117,6 +144,30 @@ class ArmciConfig:
             raise ArmciError(
                 f"tall_skinny_threshold must be >= 0, got "
                 f"{self.tall_skinny_threshold}"
+            )
+        if self.fifo_depth is not None and self.fifo_depth < 1:
+            raise ArmciError(
+                f"fifo_depth must be >= 1 or None, got {self.fifo_depth}"
+            )
+        if self.memregion_budget is not None and self.memregion_budget < 1:
+            raise ArmciError(
+                f"memregion_budget must be >= 1 or None, got "
+                f"{self.memregion_budget}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ArmciError(
+                f"default_deadline must be > 0 or None, got "
+                f"{self.default_deadline}"
+            )
+        if self.watchdog_period is not None and self.watchdog_period <= 0:
+            raise ArmciError(
+                f"watchdog_period must be > 0 or None, got "
+                f"{self.watchdog_period}"
+            )
+        if self.watchdog_period is not None and not self.async_thread:
+            raise ArmciError(
+                "watchdog_period requires async_thread=True (the watchdog "
+                "monitors the async progress thread)"
             )
 
     @classmethod

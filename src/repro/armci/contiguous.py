@@ -48,6 +48,15 @@ def ensure_local_region(
     try:
         region = yield from registry.create(base, seg_bytes)
     except ResourceExhaustedError:
+        # Under pressure, cached remote handles are expendable: evicting
+        # one frees a budget slot for this (local) registration.
+        if rt.region_cache.evict_for_budget():
+            try:
+                region = yield from registry.create(base, seg_bytes)
+            except ResourceExhaustedError:
+                rt.trace.incr("armci.local_region_create_failed")
+                return None
+            return region
         rt.trace.incr("armci.local_region_create_failed")
         return None
     return region
@@ -66,11 +75,14 @@ def resolve_remote_region(
     if region is not None:
         return region
     ctx = rt.main_context
+    deadline = rt._op_deadline(None)
+    yield from rt._acquire_send_credit(dst, deadline)
     reply = rt.engine.event(f"regionq.{rt.rank}->{dst}")
-    op = send_am(
-        ctx, dst, _REGION_QUERY_ID, header={"addr": addr, "nbytes": nbytes, "reply": reply, "reply_ctx": ctx}
-    )
-    found = yield from ctx.wait_with_progress(reply)
+    header = {"addr": addr, "nbytes": nbytes, "reply": reply, "reply_ctx": ctx}
+    if rt.flow_enabled:
+        header["_credit"] = True
+    op = send_am(ctx, dst, _REGION_QUERY_ID, header=header)
+    found = yield from ctx.wait_with_progress(reply, deadline=deadline)
     from ..pami.faults import check_completion
 
     check_completion(found)
@@ -171,18 +183,16 @@ def nbget_fallback(
     whenever the target makes no progress."""
     ctx = rt.main_context
     done = rt.engine.event(f"fbget.{rt.rank}<-{dst}")
-    send_am(
-        ctx,
-        dst,
-        _GET_REQUEST_ID,
-        header={
-            "addr": remote_addr,
-            "nbytes": nbytes,
-            "local_addr": local_addr,
-            "event": done,
-            "reply_ctx": ctx,
-        },
-    )
+    header = {
+        "addr": remote_addr,
+        "nbytes": nbytes,
+        "local_addr": local_addr,
+        "event": done,
+        "reply_ctx": ctx,
+    }
+    if rt.flow_enabled:
+        header["_credit"] = True
+    send_am(ctx, dst, _GET_REQUEST_ID, header=header)
     handle.add_event(done)
     rt.trace.incr("armci.get_fallback")
     return handle
@@ -218,13 +228,10 @@ def nbput_fallback(
     ctx = rt.main_context
     ack = rt.engine.event(f"fbput.ack.{rt.rank}->{dst}")
     data = rt.world.space(rt.rank).read(local_addr, nbytes)
-    op = send_am(
-        ctx,
-        dst,
-        _PUT_REQUEST_ID,
-        header={"addr": remote_addr, "ack": ack, "reply_ctx": ctx},
-        payload=data,
-    )
+    header = {"addr": remote_addr, "ack": ack, "reply_ctx": ctx}
+    if rt.flow_enabled:
+        header["_credit"] = True
+    op = send_am(ctx, dst, _PUT_REQUEST_ID, header=header, payload=data)
     handle.add_event(op.local_event)
     if rt.chaos_enabled:
         # Under chaos a lost PUT_REQUEST is reported on the ack cookie;

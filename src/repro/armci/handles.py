@@ -29,12 +29,30 @@ class Handle:
         self.kind = kind
         self._events: list[Event] = []
         self._waited = False
+        self._pinned_regions: list = []
 
     def add_event(self, event: Event) -> None:
         """Attach one PAMI local-completion event."""
         if self._waited:
             raise HandleError(f"{self.kind} handle extended after wait")
         self._events.append(event)
+
+    def pin_region(self, region) -> None:
+        """Pin a cached remote region for this request's lifetime.
+
+        The region cache refuses to evict pinned entries, so a long
+        non-blocking transfer cannot have its RDMA handle deregistered
+        out from under it. Unpinned via :meth:`release_pins` when the
+        owner's completion hook runs.
+        """
+        self.owner.region_cache.pin(region)
+        self._pinned_regions.append(region)
+
+    def release_pins(self, cache) -> None:
+        """Drop every pin this handle holds (idempotent)."""
+        regions, self._pinned_regions = self._pinned_regions, []
+        for region in regions:
+            cache.unpin(region)
 
     @property
     def num_ops(self) -> int:
@@ -46,8 +64,13 @@ class Handle:
         """Whether every underlying operation locally completed."""
         return all(ev.triggered for ev in self._events)
 
-    def wait(self):
+    def wait(self, timeout: float | None = None):
         """Generator: block (with progress) until local completion.
+
+        Inherits the owner's ambient deadline (or takes an explicit
+        ``timeout``); expiry raises
+        :class:`~repro.errors.DeadlineExceededError` and abandons the
+        request (the handle is spent, its pins are released).
 
         Raises
         ------
@@ -58,9 +81,12 @@ class Handle:
             raise HandleError(f"double wait on {self.kind} handle")
         self._waited = True
         ctx = self.owner.main_context
-        for ev in self._events:
-            if not ev.triggered:
-                yield from ctx.wait_with_progress(ev)
-            # Failure tokens surface as ProcessFailedError (FT extension).
-            check_completion(ev.value)
-        self.owner.on_handle_complete(self)
+        deadline = self.owner._op_deadline(timeout)
+        try:
+            for ev in self._events:
+                if not ev.triggered:
+                    yield from ctx.wait_with_progress(ev, deadline=deadline)
+                # Failure tokens surface as ProcessFailedError (FT extension).
+                check_completion(ev.value)
+        finally:
+            self.owner.on_handle_complete(self)

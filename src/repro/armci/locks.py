@@ -89,12 +89,14 @@ def lock(rt: "ArmciProcess", mutex_id: int) -> Generator[Any, Any, None]:
     """Blocking acquire of a distributed mutex."""
     owner = mutex_owner(mutex_id, rt.world.num_procs)
     ctx = rt.main_context
+    deadline = rt._op_deadline(None)
+    yield from rt._acquire_send_credit(owner, deadline)
     grant = rt.engine.event(f"lock.{mutex_id}.r{rt.rank}")
-    send_am(
-        ctx, owner, _LOCK_REQUEST_ID,
-        header={"mutex": mutex_id, "grant": grant, "reply_ctx": ctx},
-    )
-    granted = yield from ctx.wait_with_progress(grant)
+    header = {"mutex": mutex_id, "grant": grant, "reply_ctx": ctx}
+    if rt.flow_enabled:
+        header["_credit"] = True
+    send_am(ctx, owner, _LOCK_REQUEST_ID, header=header)
+    granted = yield from ctx.wait_with_progress(grant, deadline=deadline)
     from ..pami.faults import check_completion
 
     check_completion(granted)

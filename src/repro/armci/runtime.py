@@ -28,17 +28,19 @@ from typing import Any, Callable, Generator
 
 from ..errors import (
     ArmciError,
+    DeadlineExceededError,
+    ProcessFailedError,
     ResourceExhaustedError,
     RetryExhaustedError,
     TransientFaultError,
 )
 from ..machine.bgq import BGQParams
 from ..pami.atomics import rmw as pami_rmw
-from ..pami.context import PamiContext
+from ..pami.context import PamiContext, cancel_timer, deadline_timer
 from ..pami.faults import TransientFault, check_completion
 from ..pami.world import PamiWorld
 from ..sim.event import Event
-from ..sim.primitives import Delay
+from ..sim.primitives import Delay, WaitAny
 from ..types import StridedDescriptor
 from . import accumulate as _acc
 from . import collectives as _coll
@@ -54,7 +56,7 @@ from .consistency import make_tracker
 from .endpoints import EndpointCache
 from .handles import Handle
 from .locks import MutexTable
-from .progress import start_async_thread
+from .progress import start_async_thread, start_watchdog
 from .region_cache import RegionCache
 
 #: Consistency-tracker key for writes/reads on unregistered memory.
@@ -149,6 +151,8 @@ class ArmciJob:
     ) -> None:
         self.config = config if config is not None else ArmciConfig()
         if world is None:
+            if max_regions is None:
+                max_regions = self.config.memregion_budget
             world = PamiWorld(
                 num_procs,
                 procs_per_node=procs_per_node,
@@ -171,6 +175,12 @@ class ArmciJob:
                 if not 0 <= crash.rank < num_procs:
                     raise ArmciError(
                         f"fault plan crashes rank {crash.rank}, job has "
+                        f"{num_procs} processes"
+                    )
+            for fault in getattr(fault_plan, "resource_faults", ()):
+                if not 0 <= fault.rank < num_procs:
+                    raise ArmciError(
+                        f"fault plan targets rank {fault.rank}, job has "
                         f"{num_procs} processes"
                     )
         self.world = world
@@ -213,6 +223,38 @@ class ArmciJob:
         if rt.async_thread is not None:
             rt.async_thread.kill()
 
+    def _apply_resource_fault(self, fault) -> None:
+        """Inject one scheduled :class:`~repro.chaos.ResourceFault`.
+
+        Non-fatal: the rank stays alive but loses a resource — its
+        registration budget, its async progress thread, or its FIFO
+        headroom — exercising the degradation paths (AM fall-back,
+        watchdog failover, sender backpressure).
+        """
+        if self.world.is_failed(fault.rank):
+            return
+        rt = self.processes[fault.rank]
+        if fault.kind == "exhaust_memregions":
+            budget = self.world.regions[fault.rank].exhaust()
+            self.trace.incr("chaos.memregion_exhaustions")
+            self.trace.incr("chaos.memregion_budget_clamped", budget)
+        elif fault.kind == "stall_progress":
+            if rt.async_thread is not None and not rt.async_thread.done.triggered:
+                rt.async_thread.kill()
+                self.trace.incr("chaos.progress_stalls")
+        elif fault.kind == "saturate_fifo":
+            from ..chaos import FifoNoiseItem
+
+            ctx = rt.client.progress_context()
+            # The burst occupies FIFO slots even past capacity (the NIC
+            # already accepted the packets); senders see no room until
+            # the noise drains.
+            ctx.reserve_credits(fault.amount)
+            for _ in range(fault.amount):
+                ctx.post(FifoNoiseItem())
+            self.trace.incr("chaos.fifo_saturations")
+            self.trace.incr("chaos.fifo_noise_injected", fault.amount)
+
     def init(self) -> None:
         """Collectively initialize every rank (contexts, handlers, threads).
 
@@ -246,6 +288,10 @@ class ArmciJob:
                 self.engine.schedule(
                     crash.at, lambda _a, r=crash.rank: self.world.fail_rank(r)
                 )
+            for fault in getattr(self.fault_plan, "resource_faults", ()):
+                self.engine.schedule(
+                    fault.at, lambda _a, f=fault: self._apply_resource_fault(f)
+                )
         if ranks is None:
             ranks = range(self.num_procs)
         procs = []
@@ -272,11 +318,28 @@ class ArmciProcess:
         self.client = self.world.client(rank)
         params = self.world.params
         self.endpoints = EndpointCache(rank, params.endpoint_create_time, self.trace)
-        self.region_cache = RegionCache(job.config.region_cache_capacity, self.trace)
+        # With a registration budget, cached remote handles draw from the
+        # same slot pool as local registrations, so cache eviction frees
+        # budget under pressure (and vice versa).
+        budget_registry = (
+            self.world.regions[rank]
+            if job.config.memregion_budget is not None
+            else None
+        )
+        self.region_cache = RegionCache(
+            job.config.region_cache_capacity,
+            self.trace,
+            budget_registry=budget_registry,
+        )
         self.tracker = make_tracker(job.config.consistency_tracker)
         self.mutexes = MutexTable()
         self.notify_board = _notify.NotifyBoard()
         self.async_thread = None
+        self.watchdog = None
+        #: Set by the watchdog once progress duty failed over.
+        self.progress_failed_over = False
+        #: Ambient absolute deadline inherited by nested waits.
+        self._deadline: float | None = None
         # Outstanding remote-completion acks per destination (for fences).
         self._pending_acks: dict[int, list[Event]] = {}
         self._implicit_handles: set[Handle] = set()
@@ -291,10 +354,12 @@ class ArmciProcess:
 
     def _init_body(self) -> Generator[Any, Any, None]:
         for _ in range(self.config.num_contexts):
-            yield from self.client.create_context()
+            yield from self.client.create_context(capacity=self.config.fifo_depth)
         self._register_handlers()
         if self.config.async_thread:
             start_async_thread(self)
+            if self.config.watchdog_period is not None:
+                start_watchdog(self)
         yield from _coll.barrier(self)
 
     def _register_handlers(self) -> None:
@@ -361,7 +426,29 @@ class ArmciProcess:
         """Whether transient-fault injection is active (non-generator)."""
         return self.world.chaos is not None
 
-    def _with_retry(self, attempt_fn, kind: str) -> Generator[Any, Any, Any]:
+    @property
+    def flow_enabled(self) -> bool:
+        """Whether credit-based flow control is active (non-generator)."""
+        return self.config.fifo_depth is not None
+
+    def _op_deadline(self, timeout: float | None) -> float | None:
+        """Resolve a blocking op's absolute deadline (non-generator).
+
+        Precedence: explicit ``timeout`` (relative, seconds of simulated
+        time) > the ambient deadline inherited from an enclosing
+        operation > ``config.default_deadline``. ``None`` = no deadline.
+        """
+        if timeout is not None:
+            return self.engine.now + timeout
+        if self._deadline is not None:
+            return self._deadline
+        if self.config.default_deadline is not None:
+            return self.engine.now + self.config.default_deadline
+        return None
+
+    def _with_retry(
+        self, attempt_fn, kind: str, deadline: float | None = None
+    ) -> Generator[Any, Any, Any]:
         """Run ``attempt_fn()`` (a generator factory), retrying transient
         faults with exponential backoff per ``config.retry``.
 
@@ -370,30 +457,104 @@ class ArmciProcess:
         (:class:`~repro.errors.ProcessFailedError`) pass through — a dead
         target never comes back. A spent budget raises
         :class:`~repro.errors.RetryExhaustedError`.
+
+        ``deadline`` (absolute) is installed as the ambient deadline for
+        the attempt's nested waits; the deadline wins over the remaining
+        retry budget — a backoff sleep that would cross it raises
+        :class:`~repro.errors.DeadlineExceededError` immediately.
         """
         policy = self.config.retry
         delay = policy.base_delay
         attempts = 0
-        while True:
-            try:
-                result = yield from attempt_fn()
-                if attempts:
-                    self.trace.incr("armci.retry_successes")
-                return result
-            except RetryExhaustedError:
-                raise  # a nested retry loop already spent its budget
-            except TransientFaultError as exc:
-                attempts += 1
-                if attempts > policy.max_retries:
-                    raise RetryExhaustedError(
-                        f"{kind}: retry budget ({policy.max_retries}) "
-                        f"exhausted: {exc}"
-                    ) from exc
-                self.trace.incr("armci.transient_retries")
-                self.trace.incr(f"armci.transient_retries.{kind}")
-                self.trace.add_time("armci.retry_backoff_time", delay)
-                yield Delay(delay)
-                delay = min(delay * policy.multiplier, policy.max_delay)
+        prev_deadline = self._deadline
+        if deadline is not None:
+            self._deadline = deadline
+        try:
+            while True:
+                try:
+                    result = yield from attempt_fn()
+                    if attempts:
+                        self.trace.incr("armci.retry_successes")
+                    return result
+                except RetryExhaustedError:
+                    raise  # a nested retry loop already spent its budget
+                except TransientFaultError as exc:
+                    attempts += 1
+                    if attempts > policy.max_retries:
+                        raise RetryExhaustedError(
+                            f"{kind}: retry budget ({policy.max_retries}) "
+                            f"exhausted: {exc}"
+                        ) from exc
+                    if (
+                        deadline is not None
+                        and self.engine.now + delay >= deadline
+                    ):
+                        self.trace.incr("armci.retry_deadline_abandoned")
+                        raise DeadlineExceededError(
+                            f"{kind}: deadline t={deadline:.6g}s expires "
+                            f"during retry backoff ({attempts} attempts made)"
+                        ) from exc
+                    self.trace.incr("armci.transient_retries")
+                    self.trace.incr(f"armci.transient_retries.{kind}")
+                    self.trace.add_time("armci.retry_backoff_time", delay)
+                    yield Delay(delay)
+                    delay = min(delay * policy.multiplier, policy.max_delay)
+        finally:
+            self._deadline = prev_deadline
+
+    # ----------------------------------------------------- flow control
+
+    def _acquire_send_credit(
+        self, dst: int, deadline: float | None = None
+    ) -> Generator[Any, Any, None]:
+        """Claim one FIFO credit on ``dst``'s progress context.
+
+        Sender-side backpressure: while the target FIFO is saturated the
+        caller parks on the target's room signal instead of queueing
+        unboundedly, still servicing its *own* context meanwhile (so two
+        mutually-saturated ranks cannot deadlock). A dead target raises
+        :class:`~repro.errors.ProcessFailedError`; an expired deadline
+        raises :class:`~repro.errors.DeadlineExceededError`.
+        """
+        if not self.flow_enabled:
+            return
+        dst_ctx = self.world.client(dst).progress_context()
+        if dst_ctx.try_acquire_credit():
+            return
+        self.trace.incr("armci.backpressure_stalls")
+        t0 = self.engine.now
+        timer = None
+        death_watch: Event | None = None
+        own_ctx = self.main_context
+        try:
+            while not dst_ctx.try_acquire_credit():
+                if self.world.is_failed(dst):
+                    raise ProcessFailedError(
+                        f"rank {self.rank}: send credit wait on failed rank "
+                        f"{dst}"
+                    )
+                if deadline is not None and self.engine.now >= deadline:
+                    raise DeadlineExceededError(
+                        f"rank {self.rank}: no send credit for rank {dst} by "
+                        f"deadline t={deadline:.6g}s"
+                    )
+                if len(own_ctx.queue):
+                    # Keep our own FIFO draining while we wait for theirs.
+                    yield from own_ctx.advance(max_items=len(own_ctx.queue))
+                    continue
+                waits = [dst_ctx.room_signal(), own_ctx.arrival_signal()]
+                if deadline is not None:
+                    if timer is None:
+                        timer = deadline_timer(self.engine, deadline)
+                    waits.append(timer)
+                if death_watch is None:
+                    death_watch = self.engine.event(f"creditwatch.r{self.rank}")
+                    self.job.failure_detector.watch(death_watch, [dst])
+                waits.append(death_watch)
+                yield WaitAny(waits)
+        finally:
+            cancel_timer(timer)
+        self.trace.add_time("armci.backpressure_time", self.engine.now - t0)
 
     # ------------------------------------------------------ bookkeeping
 
@@ -419,6 +580,7 @@ class ArmciProcess:
     def on_handle_complete(self, handle: Handle) -> None:
         """Handle-completion hook (non-generator)."""
         self._implicit_handles.discard(handle)
+        handle.release_pins(self.region_cache)
 
     def _new_handle(self, kind: str) -> Handle:
         handle = Handle(self, kind)
@@ -501,8 +663,10 @@ class ArmciProcess:
             dst, local_addr, remote_addr, nbytes
         )
         if remote_region is not None:
+            h.pin_region(remote_region)
             _cont.nbput_rdma(self, dst, local_addr, remote_addr, nbytes, remote_region, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _cont.nbput_fallback(self, dst, local_addr, remote_addr, nbytes, h)
         self.tracker.on_write(dst, key)
         return h
@@ -524,25 +688,33 @@ class ArmciProcess:
         )
         yield from self._fence_if_conflicting(dst, key)
         if remote_region is not None:
+            h.pin_region(remote_region)
             _cont.nbget_rdma(self, dst, local_addr, remote_addr, nbytes, remote_region, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _cont.nbget_fallback(self, dst, local_addr, remote_addr, nbytes, h)
         self.tracker.on_get(dst, key)
         return h
 
-    def put(self, dst: int, local_addr: int, remote_addr: int, nbytes: int):
+    def put(
+        self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
+        timeout: float | None = None,
+    ):
         """Blocking contiguous put (local completion); transient faults
-        are retried with backoff."""
+        are retried with backoff. ``timeout`` bounds the whole call."""
         t0 = self.engine.now
 
         def attempt():
             h = yield from self.nbput(dst, local_addr, remote_addr, nbytes)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "put")
+        yield from self._with_retry(attempt, "put", self._op_deadline(timeout))
         self.trace.interval(f"r{self.rank}", "put", t0, self.engine.now)
 
-    def get(self, dst: int, local_addr: int, remote_addr: int, nbytes: int):
+    def get(
+        self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
+        timeout: float | None = None,
+    ):
         """Blocking contiguous get; transient faults are retried."""
         t0 = self.engine.now
 
@@ -550,7 +722,7 @@ class ArmciProcess:
             h = yield from self.nbget(dst, local_addr, remote_addr, nbytes)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "get")
+        yield from self._with_retry(attempt, "get", self._op_deadline(timeout))
         self.trace.interval(f"r{self.rank}", "get", t0, self.engine.now)
 
     # --------------------------------------------------- strided RMA
@@ -571,11 +743,14 @@ class ArmciProcess:
             )
             if remote_region is None:
                 protocol = "pack"  # regions unavailable: legacy protocol
+        if remote_region is not None:
+            h.pin_region(remote_region)
         if protocol == "zero_copy":
             _str.nbput_strided_zero_copy(self, dst, local_base, remote_base, desc, h)
         elif protocol == "typed":
             _str.nbput_strided_typed(self, dst, local_base, remote_base, desc, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _str.nbput_strided_pack(self, dst, local_base, remote_base, desc, h)
         self.tracker.on_write(dst, key)
         return h
@@ -597,32 +772,41 @@ class ArmciProcess:
             if remote_region is None:
                 protocol = "pack"
         yield from self._fence_if_conflicting(dst, key)
+        if remote_region is not None:
+            h.pin_region(remote_region)
         if protocol == "zero_copy":
             _str.nbget_strided_zero_copy(self, dst, local_base, remote_base, desc, h)
         elif protocol == "typed":
             _str.nbget_strided_typed(self, dst, local_base, remote_base, desc, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _str.nbget_strided_pack(self, dst, local_base, remote_base, desc, h)
         self.tracker.on_get(dst, key)
         return h
 
-    def puts(self, dst, local_base, remote_base, desc: StridedDescriptor):
+    def puts(
+        self, dst, local_base, remote_base, desc: StridedDescriptor,
+        timeout: float | None = None,
+    ):
         """Blocking strided put; transient faults are retried."""
 
         def attempt():
             h = yield from self.nbputs(dst, local_base, remote_base, desc)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "puts")
+        yield from self._with_retry(attempt, "puts", self._op_deadline(timeout))
 
-    def gets(self, dst, local_base, remote_base, desc: StridedDescriptor):
+    def gets(
+        self, dst, local_base, remote_base, desc: StridedDescriptor,
+        timeout: float | None = None,
+    ):
         """Blocking strided get; transient faults are retried."""
 
         def attempt():
             h = yield from self.nbgets(dst, local_base, remote_base, desc)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "gets")
+        yield from self._with_retry(attempt, "gets", self._op_deadline(timeout))
 
     # ------------------------------------------------- I/O-vector RMA
 
@@ -634,8 +818,10 @@ class ArmciProcess:
         yield from self.endpoints.get(dst)
         remote_region, key = yield from self._resolve_vector_regions(dst, vec)
         if remote_region is not None:
+            h.pin_region(remote_region)
             _vec.nbputv_zero_copy(self, dst, vec, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _vec.nbputv_pack(self, dst, vec, h)
         self.tracker.on_write(dst, key)
         return h
@@ -668,8 +854,10 @@ class ArmciProcess:
         remote_region, key = yield from self._resolve_vector_regions(dst, vec)
         yield from self._fence_if_conflicting(dst, key)
         if remote_region is not None:
+            h.pin_region(remote_region)
             _vec.nbgetv_zero_copy(self, dst, vec, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _vec.nbgetv_pack(self, dst, vec, h)
         self.tracker.on_get(dst, key)
         return h
@@ -688,8 +876,10 @@ class ArmciProcess:
         yield from self.endpoints.get(dst)
         remote_region, key = yield from self._resolve_vector_regions(dst, vec)
         if remote_region is not None:
+            h.pin_region(remote_region)
             _vec.nbputv_typed(self, dst, vec, h)
         else:
+            yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _vec.nbputv_pack(self, dst, vec, h)
         self.tracker.on_write(dst, key)
         return h
@@ -702,23 +892,23 @@ class ArmciProcess:
 
         return AggregateHandle(self, dst)
 
-    def putv(self, dst: int, vec: "_vec.IoVector"):
+    def putv(self, dst: int, vec: "_vec.IoVector", timeout: float | None = None):
         """Blocking I/O-vector put; transient faults are retried."""
 
         def attempt():
             h = yield from self.nbputv(dst, vec)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "putv")
+        yield from self._with_retry(attempt, "putv", self._op_deadline(timeout))
 
-    def getv(self, dst: int, vec: "_vec.IoVector"):
+    def getv(self, dst: int, vec: "_vec.IoVector", timeout: float | None = None):
         """Blocking I/O-vector get; transient faults are retried."""
 
         def attempt():
             h = yield from self.nbgetv(dst, vec)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "getv")
+        yield from self._with_retry(attempt, "getv", self._op_deadline(timeout))
 
     # ------------------------------------------------------ accumulate
 
@@ -740,11 +930,17 @@ class ArmciProcess:
                 )
             if region is not None:
                 key = (dst, region.base)
+        # Accumulates always ride the AM path (software-applied at the
+        # target), so they are always credited under flow control.
+        yield from self._acquire_send_credit(dst, self._op_deadline(None))
         _acc.nbacc(self, dst, local_addr, remote_addr, nbytes, scale, h)
         self.tracker.on_write(dst, key)
         return h
 
-    def acc(self, dst, local_addr, remote_addr, nbytes, scale: float = 1.0):
+    def acc(
+        self, dst, local_addr, remote_addr, nbytes, scale: float = 1.0,
+        timeout: float | None = None,
+    ):
         """Blocking (locally complete) accumulate; transient faults are
         retried (the lost request never reached the target, so a retry
         applies the update exactly once)."""
@@ -753,12 +949,13 @@ class ArmciProcess:
             h = yield from self.nbacc(dst, local_addr, remote_addr, nbytes, scale)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "acc")
+        yield from self._with_retry(attempt, "acc", self._op_deadline(timeout))
 
     # ------------------------------------------------------------ AMOs
 
     def rmw(
-        self, dst: int, addr: int, op: str, operand: int = 0, operand2: int = 0
+        self, dst: int, addr: int, op: str, operand: int = 0, operand2: int = 0,
+        timeout: float | None = None,
     ) -> Generator[Any, Any, int]:
         """Blocking read-modify-write; returns the old value.
 
@@ -768,16 +965,26 @@ class ArmciProcess:
         """
         yield from self.endpoints.get(dst, self.world.client(dst).num_contexts - 1)
         t0 = self.engine.now
+        # NIC-AMO what-if requests bypass context queues, so they take no
+        # FIFO credit.
+        credited = self.flow_enabled and not self.world.nic_amo_support
 
         def attempt():
-            pending = pami_rmw(self.main_context, dst, addr, op, operand, operand2)
-            value = yield from self.main_context.wait_with_progress(pending.event)
+            if credited:
+                yield from self._acquire_send_credit(dst, self._op_deadline(None))
+            pending = pami_rmw(
+                self.main_context, dst, addr, op, operand, operand2,
+                credited=credited,
+            )
+            value = yield from self.main_context.wait_with_progress(
+                pending.event, deadline=self._op_deadline(None)
+            )
             check_completion(value)
             return value
 
         # Retry-safe: a transient fault means the request was lost before
         # the op was applied, so re-issuing never double-counts.
-        old = yield from self._with_retry(attempt, "rmw")
+        old = yield from self._with_retry(attempt, "rmw", self._op_deadline(timeout))
         self.trace.add_time("armci.rmw_wait_time", self.engine.now - t0)
         self.trace.interval(f"r{self.rank}", "counter", t0, self.engine.now)
         self.trace.incr("armci.rmws")
@@ -794,14 +1001,23 @@ class ArmciProcess:
             # cs_mr tracker's win over cs_tgt.
             self.trace.incr("armci.fences_avoided")
 
-    def fence(self, dst: int) -> Generator[Any, Any, None]:
+    def fence(self, dst: int, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Wait until all writes to ``dst`` are remotely complete."""
         t0 = self.engine.now
+        deadline = self._op_deadline(timeout)
         acks = self._pending_acks.pop(dst, [])
         ctx = self.main_context
-        for ack in acks:
+        for i, ack in enumerate(acks):
             if not ack.triggered:
-                yield from ctx.wait_with_progress(ack)
+                try:
+                    yield from ctx.wait_with_progress(ack, deadline=deadline)
+                except DeadlineExceededError:
+                    # Unfenced writes stay tracked: a later fence (or a
+                    # longer deadline) can still certify them.
+                    self._pending_acks[dst] = (
+                        acks[i:] + self._pending_acks.get(dst, [])
+                    )
+                    raise
             if isinstance(ack.value, TransientFault):
                 # A transiently-lost write already surfaced (and was
                 # retried) at its own completion wait; the fence only
@@ -813,23 +1029,37 @@ class ArmciProcess:
         self.trace.incr("armci.fences")
         self.trace.interval(f"r{self.rank}", "fence", t0, self.engine.now)
 
-    def fence_all(self) -> Generator[Any, Any, None]:
+    def fence_all(self, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Fence every destination with outstanding writes."""
-        for dst in list(self._pending_acks):
-            yield from self.fence(dst)
+        deadline = self._op_deadline(timeout)
+        prev = self._deadline
+        if deadline is not None:
+            self._deadline = deadline
+        try:
+            for dst in list(self._pending_acks):
+                yield from self.fence(dst)
+        finally:
+            self._deadline = prev
 
-    def wait_all(self) -> Generator[Any, Any, None]:
+    def wait_all(self, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Wait for local completion of all implicit non-blocking requests."""
-        for handle in list(self._implicit_handles):
-            if not handle.complete:
-                yield from handle.wait()
-            else:
-                self._implicit_handles.discard(handle)
+        deadline = self._op_deadline(timeout)
+        prev = self._deadline
+        if deadline is not None:
+            self._deadline = deadline
+        try:
+            for handle in list(self._implicit_handles):
+                if not handle.complete:
+                    yield from handle.wait()
+                else:
+                    self.on_handle_complete(handle)
+        finally:
+            self._deadline = prev
 
-    def barrier(self) -> Generator[Any, Any, None]:
+    def barrier(self, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Collective barrier (hardware network + progress while waiting)."""
         t0 = self.engine.now
-        yield from _coll.barrier(self)
+        yield from _coll.barrier(self, deadline=self._op_deadline(timeout))
         self.trace.interval(f"r{self.rank}", "barrier", t0, self.engine.now)
 
     def allreduce(self, value: float, op: str = "sum") -> Generator[Any, Any, float]:
@@ -862,19 +1092,25 @@ class ArmciProcess:
         """Notify ``dst``; delivered after all prior puts to ``dst``."""
         yield from _notify.notify(self, dst)
 
-    def notify_wait(self, src: int) -> Generator[Any, Any, None]:
+    def notify_wait(
+        self, src: int, timeout: float | None = None
+    ) -> Generator[Any, Any, None]:
         """Wait for (and consume) one notification from ``src``."""
-        yield from _notify.notify_wait(self, src)
+        yield from _notify.notify_wait(self, src, deadline=self._op_deadline(timeout))
 
     # ------------------------------------------------------------ locks
 
-    def lock(self, mutex_id: int) -> Generator[Any, Any, None]:
+    def lock(
+        self, mutex_id: int, timeout: float | None = None
+    ) -> Generator[Any, Any, None]:
         """Acquire a distributed ARMCI mutex.
 
         A transiently-lost LOCK_REQUEST is retried (the owner never saw
         the lost request, so re-sending cannot double-acquire).
         """
-        yield from self._with_retry(lambda: _locks.lock(self, mutex_id), "lock")
+        yield from self._with_retry(
+            lambda: _locks.lock(self, mutex_id), "lock", self._op_deadline(timeout)
+        )
 
     def unlock(self, mutex_id: int) -> Generator[Any, Any, None]:
         """Release a distributed ARMCI mutex."""
@@ -895,6 +1131,58 @@ class ArmciProcess:
         ctx = self.main_context
         pending = len(ctx.queue)
         return (yield from ctx.advance(max_items=max(pending, 1)))
+
+    # -------------------------------------------------- quiesce / drain
+
+    def quiesce(self, timeout: float | None = None) -> Generator[Any, Any, None]:
+        """Drain this rank to a quiescent state (teardown/restart point).
+
+        Three phases: (1) locally complete every implicit non-blocking
+        request; (2) fence every destination, so all our writes are
+        remotely complete; (3) service this rank's context queues until
+        empty, so no remote request is stranded here. Afterwards the
+        rank holds no in-flight communication state and its progress
+        machinery can be torn down or restarted safely
+        (:meth:`restart_async_thread`).
+
+        A ``timeout`` (or inherited deadline) bounds the whole drain;
+        expiry raises :class:`~repro.errors.DeadlineExceededError` with
+        the rank *partially* drained.
+        """
+        deadline = self._op_deadline(timeout)
+        prev = self._deadline
+        if deadline is not None:
+            self._deadline = deadline
+        try:
+            yield from self.wait_all()
+            yield from self.fence_all()
+            for ctx in self.client.contexts:
+                while len(ctx.queue):
+                    if deadline is not None and self.engine.now >= deadline:
+                        raise DeadlineExceededError(
+                            f"rank {self.rank}: quiesce deadline "
+                            f"t={deadline:.6g}s expired with "
+                            f"{len(ctx.queue)} items queued"
+                        )
+                    yield from ctx.advance(max_items=len(ctx.queue))
+        finally:
+            self._deadline = prev
+        self.trace.incr("armci.quiesces")
+
+    def restart_async_thread(self) -> None:
+        """Tear down and respawn the async progress thread (non-generator).
+
+        Intended after :meth:`quiesce`: a wedged (or failed-over) progress
+        thread is killed and a fresh one started on the progress context.
+        No-op in default mode (nothing to restart).
+        """
+        if not self.config.async_thread:
+            return
+        if self.async_thread is not None and not self.async_thread.done.triggered:
+            self.async_thread.kill()
+        self.progress_failed_over = False
+        start_async_thread(self)
+        self.trace.incr("armci.async_thread_restarts")
 
     def compute(self, seconds: float) -> Generator[Any, Any, None]:
         """Model local computation: the main thread leaves the runtime.

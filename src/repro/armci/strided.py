@@ -225,17 +225,20 @@ def nbput_strided_pack(
     ctx = rt.main_context
     ack = world.engine.event(f"packput.ack.{rt.rank}->{dst}")
     unpack_cost = total * world.params.pack_byte_time
+    header = {
+        "remote_base": remote_base,
+        "desc": desc,
+        "ack": ack,
+        "reply_ctx": ctx,
+        "_cost": unpack_cost,
+    }
+    if rt.flow_enabled:
+        header["_credit"] = True
     op = send_am(
         ctx,
         dst,
         _STRIDED_PACKED_PUT_ID,
-        header={
-            "remote_base": remote_base,
-            "desc": desc,
-            "ack": ack,
-            "reply_ctx": ctx,
-            "_cost": unpack_cost,
-        },
+        header=header,
         payload=data,
     )
     handle.add_event(op.local_event)
@@ -308,17 +311,20 @@ def nbget_strided_pack(
     """Legacy pack/unpack get: target packs and streams back one message."""
     ctx = rt.main_context
     done = rt.engine.event(f"packget.{rt.rank}<-{dst}")
+    header = {
+        "remote_base": remote_base,
+        "local_base": local_base,
+        "desc": desc,
+        "event": done,
+        "reply_ctx": ctx,
+    }
+    if rt.flow_enabled:
+        header["_credit"] = True
     send_am(
         ctx,
         dst,
         _STRIDED_PACKED_GET_ID,
-        header={
-            "remote_base": remote_base,
-            "local_base": local_base,
-            "desc": desc,
-            "event": done,
-            "reply_ctx": ctx,
-        },
+        header=header,
     )
     handle.add_event(done)
     rt.trace.incr("armci.gets_strided_pack")

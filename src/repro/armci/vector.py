@@ -197,17 +197,20 @@ def nbputv_pack(
     )
     ctx = rt.main_context
     ack = world.engine.event(f"putv.ack.{rt.rank}->{dst}")
+    header = {
+        "addrs": vec.remote_addrs,
+        "lengths": vec.lengths,
+        "ack": ack,
+        "reply_ctx": ctx,
+        "_cost": vec.total_bytes * world.params.pack_byte_time,
+    }
+    if rt.flow_enabled:
+        header["_credit"] = True
     op = send_am(
         ctx,
         dst,
         _VECTOR_PUT_ID,
-        header={
-            "addrs": vec.remote_addrs,
-            "lengths": vec.lengths,
-            "ack": ack,
-            "reply_ctx": ctx,
-            "_cost": vec.total_bytes * world.params.pack_byte_time,
-        },
+        header=header,
         payload=data,
     )
     handle.add_event(op.local_event)
@@ -272,17 +275,20 @@ def nbgetv_pack(
     """Packed-AM vector get: target gathers and streams one message."""
     ctx = rt.main_context
     done = rt.engine.event(f"getv.{rt.rank}<-{dst}")
+    header = {
+        "remote_addrs": vec.remote_addrs,
+        "local_addrs": vec.local_addrs,
+        "lengths": vec.lengths,
+        "event": done,
+        "reply_ctx": ctx,
+    }
+    if rt.flow_enabled:
+        header["_credit"] = True
     send_am(
         ctx,
         dst,
         _VECTOR_GET_ID,
-        header={
-            "remote_addrs": vec.remote_addrs,
-            "local_addrs": vec.local_addrs,
-            "lengths": vec.lengths,
-            "event": done,
-            "reply_ctx": ctx,
-        },
+        header=header,
     )
     handle.add_event(done)
     rt.trace.incr("armci.getv_pack")

@@ -46,7 +46,11 @@ import random
 from dataclasses import dataclass, field
 
 from .errors import ReproError
+from .pami.context import PamiContext, WorkItem
 from .pami.faults import FAULT_DETECT_DELAY, TransientFault
+
+#: Valid resource-fault kinds for :class:`ResourceFault`.
+RESOURCE_FAULT_KINDS = ("exhaust_memregions", "stall_progress", "saturate_fifo")
 
 
 class ChaosError(ReproError):
@@ -147,18 +151,97 @@ class RankCrash:
             raise ChaosError(f"crash time must be >= 0, got {self.at}")
 
 
+@dataclass(frozen=True)
+class ResourceFault:
+    """One scheduled *resource* fault (non-fatal; the rank stays alive).
+
+    Kinds
+    -----
+    ``exhaust_memregions``
+        Clamp ``rank``'s memory-region budget to what is currently in
+        use; later registrations fail and transfers degrade to the
+        active-message fall-back (Eqs. 7–8).
+    ``stall_progress``
+        Wedge ``rank``'s asynchronous progress thread (it stops
+        servicing its context). Liveness then depends on the progress
+        watchdog failing over, or on deadlines surfacing the stall.
+    ``saturate_fifo``
+        Burst ``amount`` junk work items into ``rank``'s progress-context
+        FIFO, consuming flow-control credits; senders targeting the rank
+        hit backpressure until the burst drains.
+    """
+
+    kind: str
+    rank: int
+    at: float
+    amount: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in RESOURCE_FAULT_KINDS:
+            raise ChaosError(
+                f"unknown resource fault {self.kind!r}; "
+                f"valid: {RESOURCE_FAULT_KINDS}"
+            )
+        if self.rank < 0:
+            raise ChaosError(f"fault rank must be >= 0, got {self.rank}")
+        if self.at < 0.0:
+            raise ChaosError(f"fault time must be >= 0, got {self.at}")
+        if self.kind == "saturate_fifo" and self.amount < 1:
+            raise ChaosError(
+                f"saturate_fifo needs amount >= 1, got {self.amount}"
+            )
+
+
+class FifoNoiseItem(WorkItem):
+    """Junk work injected by ``saturate_fifo``.
+
+    Occupies one FIFO slot (credit) until serviced and costs one handler
+    dispatch, with no semantic effect — modelling a burst of unexpected
+    traffic (e.g. an all-to-one incast) saturating the reception FIFO.
+    """
+
+    credited = True
+
+    def cost(self, ctx: PamiContext) -> float:
+        return ctx.params.am_handler_time
+
+    def execute(self, ctx: PamiContext) -> None:
+        ctx.trace.incr("chaos.noise_serviced")
+
+
 @dataclass
 class FaultPlan:
-    """A schedule of fail-stop crashes, applied when the world is built.
+    """A schedule of fail-stop crashes and resource faults.
 
-    Chainable: ``FaultPlan().crash(2, at=1e-3).crash(5, at=2e-3)``.
+    Chainable: ``FaultPlan().crash(2, at=1e-3).saturate_fifo(0, at=2e-3,
+    amount=64).stall_progress(1, at=3e-3)``.
     """
 
     crashes: list[RankCrash] = field(default_factory=list)
+    resource_faults: list[ResourceFault] = field(default_factory=list)
 
     def crash(self, rank: int, at: float) -> "FaultPlan":
         """Schedule ``rank`` to fail at simulated time ``at``."""
         self.crashes.append(RankCrash(rank, at))
+        return self
+
+    def exhaust_memregions(self, rank: int, at: float) -> "FaultPlan":
+        """Exhaust ``rank``'s memory-region budget at time ``at``."""
+        self.resource_faults.append(
+            ResourceFault("exhaust_memregions", rank, at)
+        )
+        return self
+
+    def stall_progress(self, rank: int, at: float) -> "FaultPlan":
+        """Wedge ``rank``'s async progress thread at time ``at``."""
+        self.resource_faults.append(ResourceFault("stall_progress", rank, at))
+        return self
+
+    def saturate_fifo(self, rank: int, at: float, amount: int = 32) -> "FaultPlan":
+        """Burst ``amount`` junk items into ``rank``'s FIFO at time ``at``."""
+        self.resource_faults.append(
+            ResourceFault("saturate_fifo", rank, at, amount)
+        )
         return self
 
 

@@ -27,12 +27,28 @@ class PamiError(ReproError):
     """A PAMI-layer precondition failed (bad endpoint, context, region...)."""
 
 
-class ResourceExhaustedError(PamiError):
-    """A PAMI resource budget (e.g. memory-region slots) was exhausted."""
-
-
 class ArmciError(ReproError):
     """An ARMCI-layer precondition failed."""
+
+
+class ResourceExhaustedError(PamiError, ArmciError):
+    """A resource budget (memory-region slots, FIFO credits) was exhausted.
+
+    Subclasses both :class:`PamiError` (the budget lives in the PAMI
+    layer) and :class:`ArmciError` (blocking ARMCI calls surface it), so
+    existing ``except ArmciError`` handlers keep working.
+    """
+
+
+class DeadlineExceededError(ArmciError):
+    """A blocking operation's deadline expired before it completed.
+
+    Raised instead of hanging when a deadline (explicit ``timeout=``,
+    inherited from an enclosing operation, or
+    ``ArmciConfig.default_deadline``) passes while the operation is
+    still parked — waiting on a completion event, a flow-control
+    credit, or a retry backoff sleep.
+    """
 
 
 class ConsistencyError(ArmciError):

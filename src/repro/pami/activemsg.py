@@ -53,6 +53,14 @@ class AmItem(WorkItem):
     def __init__(self, envelope: AmEnvelope) -> None:
         self.envelope = envelope
 
+    @property
+    def credited(self) -> bool:
+        # Request-class AMs whose sender acquired a flow-control credit
+        # carry the reserved "_credit" header key; servicing them frees
+        # the FIFO slot. Control traffic (replies, completions) bypasses
+        # the bounded FIFO.
+        return bool(self.envelope.header.get("_credit"))
+
     def cost(self, ctx: PamiContext) -> float:
         # Handler dispatch plus copying the payload out of NIC buffers.
         # Senders may declare extra handler work (accumulate flops, strided
@@ -137,11 +145,22 @@ def send_am(
     local_event = engine.event(f"am.local.{src}->{dst_rank}")
     attempts = [0]
 
+    def release_credit() -> None:
+        # A credited request that will never be serviced (target died, or
+        # the loss was reported to the initiator) must return its FIFO
+        # slot, or backpressure would leak credits under chaos.
+        if env.header.get("_credit"):
+            if target_context is not None:
+                target_client.context(target_context).release_credit()
+            else:
+                target_client.progress_context().release_credit()
+
     def deliver(_arg) -> None:
         if world.is_failed(dst_rank):
             from . import faults as _flt
 
             _flt.fail_am_replies(world, env, dst_rank)
+            release_credit()
             return
         if chaos is not None:
             attempts[0] += 1
@@ -158,9 +177,12 @@ def send_am(
                 )
                 if failed == 0:
                     # No reply cookies: the initiator can't observe the
-                    # loss, so the transport retransmits.
+                    # loss, so the transport retransmits (the credit stays
+                    # held — the slot is still reserved for this request).
                     world.trace.incr("chaos.retransmits")
                     engine.schedule(chaos.config.retransmit_delay, deliver)
+                else:
+                    release_credit()
                 return
         if target_context is not None:
             dst_ctx = target_client.context(target_context)

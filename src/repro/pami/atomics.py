@@ -66,12 +66,19 @@ class RmwOp:
 class RmwItem(WorkItem):
     """A software-serviced AMO waiting in the target's context queue."""
 
-    __slots__ = ("request", "reply_ctx", "posted_at")
+    __slots__ = ("request", "reply_ctx", "posted_at", "credited")
 
-    def __init__(self, request: "_RmwRequest", reply_ctx_rank: int, posted_at: float) -> None:
+    def __init__(
+        self,
+        request: "_RmwRequest",
+        reply_ctx_rank: int,
+        posted_at: float,
+        credited: bool = False,
+    ) -> None:
         self.request = request
         self.reply_ctx = reply_ctx_rank
         self.posted_at = posted_at
+        self.credited = credited
 
     def cost(self, ctx: PamiContext) -> float:
         return ctx.params.rmw_service_time
@@ -132,6 +139,7 @@ def rmw(
     operand: int = 0,
     operand2: int = 0,
     target_context: int | None = None,
+    credited: bool = False,
 ) -> RmwOp:
     """Post a non-blocking read-modify-write on ``(dst_rank, addr)``.
 
@@ -142,6 +150,9 @@ def rmw(
     target_context:
         Which target context services the request; defaults to the
         target's progress context.
+    credited:
+        The sender holds a flow-control credit against the target's
+        progress context; servicing (or losing) the request returns it.
 
     Returns
     -------
@@ -160,6 +171,10 @@ def rmw(
     now = engine.now
     world.trace.incr("pami.rmw_posted")
 
+    def _return_credit() -> None:
+        if credited:
+            world.client(dst_rank).progress_context().release_credit()
+
     chaos = world.chaos
     if chaos is not None:
         # AMOs are unordered (Section III-A.4): unclamped jitter.
@@ -168,9 +183,12 @@ def rmw(
         if fault is not None:
             # Request lost before the op was applied — retry-safe: the
             # fetch_add/swap never happened at the target.
+            def report_loss(_a) -> None:
+                _return_credit()
+                ctx.post(CompletionItem(event, fault))
+
             engine.schedule(
-                arrive + chaos.config.detect_delay - now,
-                lambda _a: ctx.post(CompletionItem(event, fault)),
+                arrive + chaos.config.detect_delay - now, report_loss
             )
             return RmwOp(op, src, dst_rank, addr, event)
 
@@ -194,6 +212,7 @@ def rmw(
 
     def deliver(_arg) -> None:
         if world.is_failed(dst_rank):
+            _return_credit()
             engine.schedule(
                 _flt.FAULT_DETECT_DELAY,
                 lambda _a: ctx.post(CompletionItem(event, _flt.Failure(dst_rank))),
@@ -203,7 +222,7 @@ def rmw(
             dst_ctx = target_client.context(target_context)
         else:
             dst_ctx = target_client.progress_context()
-        dst_ctx.post(RmwItem(req, src, engine.now))
+        dst_ctx.post(RmwItem(req, src, engine.now, credited=credited))
 
     engine.schedule(arrive - now, deliver)
     return RmwOp(op, src, dst_rank, addr, event)

@@ -43,15 +43,19 @@ class PamiClient:
         """Number of created contexts (rho in the paper)."""
         return len(self.contexts)
 
-    def create_context(self) -> Generator[Any, Any, PamiContext]:
+    def create_context(
+        self, capacity: int | None = None
+    ) -> Generator[Any, Any, PamiContext]:
         """Create one communication context (a generator; costs real time).
 
         Context creation is expensive — Table II reports 3821-4271 us —
         so ARMCI creates contexts once at init, not per transfer.
+        ``capacity`` bounds the context's injection/reception FIFO
+        (``None`` = unbounded).
         """
         index = len(self.contexts)
         yield Delay(self.world.params.context_create_time(index))
-        ctx = PamiContext(self, index)
+        ctx = PamiContext(self, index, capacity=capacity)
         self.contexts.append(ctx)
         self.world.trace.incr("pami.contexts_created")
         return ctx

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from ..errors import PamiError
+from ..errors import DeadlineExceededError, PamiError
 from ..sim.event import Event
 from ..sim.primitives import Delay, WaitAny
 from ..sim.resources import Lock, Queue
@@ -29,8 +29,45 @@ if TYPE_CHECKING:  # pragma: no cover
     from .client import PamiClient
 
 
+class TimerEvent(Event):
+    """An :class:`Event` backed by a cancellable engine timer."""
+
+    __slots__ = ("handle",)
+
+
+def deadline_timer(engine, deadline: float) -> TimerEvent:
+    """An event that triggers once the simulation clock reaches ``deadline``.
+
+    Used by deadline-aware waits: include the timer in a ``WaitAny`` so
+    the waiter wakes when its deadline passes even if nothing else does.
+    Call :func:`cancel_timer` once the wait resolves — abandoned timers
+    would otherwise keep the simulation alive until their expiry.
+    """
+    timer = TimerEvent(engine, "deadline")
+    timer.handle = engine.schedule_timer(
+        max(deadline - engine.now, 0.0), _fire_timer, timer
+    )
+    return timer
+
+
+def cancel_timer(timer: TimerEvent | None) -> None:
+    """Retire a :func:`deadline_timer` that is no longer needed."""
+    if timer is not None and not timer.triggered:
+        timer.handle.cancel()
+
+
+def _fire_timer(timer: Event) -> None:
+    timer.succeed()
+
+
 class WorkItem:
     """Base class for items serviced by a context's progress engine."""
+
+    #: Whether servicing this item returns a flow-control credit to the
+    #: hosting context (True for request-class items whose sender acquired
+    #: a credit; False for control traffic, which rides the NIC-reliable
+    #: lane and bypasses the bounded FIFO).
+    credited = False
 
     def cost(self, ctx: "PamiContext") -> float:
         """Progress-engine time consumed servicing this item."""
@@ -80,9 +117,14 @@ class PamiContext:
         Owning :class:`~repro.pami.client.PamiClient`.
     index:
         Context index within the client (0-based).
+    capacity:
+        Injection/reception FIFO slots (flow-control credits). ``None``
+        = unbounded, the seed model.
     """
 
-    def __init__(self, client: "PamiClient", index: int) -> None:
+    def __init__(
+        self, client: "PamiClient", index: int, capacity: int | None = None
+    ) -> None:
         self.client = client
         self.index = index
         engine = client.world.engine
@@ -95,6 +137,15 @@ class PamiContext:
         self._arrival = engine.event(f"{name}.arrival")
         #: Cumulative time threads spent holding this context's lock.
         self.busy_time = 0.0
+        #: FIFO depth; None = unbounded.
+        self.capacity = capacity
+        #: Outstanding flow-control credits (occupied FIFO slots).
+        self._credits_out = 0
+        self._room = engine.event(f"{name}.room")
+        #: Monotone service heartbeat: bumped every time a batch of items
+        #: is drained. The progress watchdog samples this to detect a
+        #: wedged async progress thread.
+        self.progress_epoch = 0
 
     # ------------------------------------------------------------ posting
 
@@ -114,6 +165,49 @@ class PamiContext:
                 f"r{self.client.rank}.ctx{self.index}.arrival"
             )
         return self._arrival
+
+    # ------------------------------------------------------- flow control
+
+    @property
+    def saturated(self) -> bool:
+        """True when every FIFO slot holds an outstanding credit."""
+        return self.capacity is not None and self._credits_out >= self.capacity
+
+    def try_acquire_credit(self) -> bool:
+        """Claim one FIFO slot; False if the context is saturated.
+
+        Senders that fail to acquire must park on :meth:`room_signal`
+        (sender-side backpressure) rather than posting anyway.
+        """
+        if self.capacity is None:
+            return True
+        if self._credits_out < self.capacity:
+            self._credits_out += 1
+            return True
+        self.trace.incr("pami.fifo_credit_denied")
+        return False
+
+    def reserve_credits(self, count: int) -> None:
+        """Forcibly occupy ``count`` slots (chaos ``saturate_fifo``)."""
+        if self.capacity is not None:
+            self._credits_out += count
+
+    def release_credit(self) -> None:
+        """Return one FIFO slot and wake parked senders."""
+        if self.capacity is None:
+            return
+        if self._credits_out > 0:
+            self._credits_out -= 1
+        if not self._room.triggered:
+            self._room.succeed()
+
+    def room_signal(self) -> Event:
+        """An event that triggers at the next credit release."""
+        if self._room.triggered:
+            self._room = self.engine.event(
+                f"r{self.client.rank}.ctx{self.index}.room"
+            )
+        return self._room
 
     # ----------------------------------------------------------- progress
 
@@ -138,11 +232,17 @@ class PamiContext:
             offset = 0.0
             while len(self.queue) and (max_items is None or serviced < max_items):
                 item = self.queue.get_nowait()
+                if item.credited:
+                    # The FIFO slot frees as soon as the item is popped
+                    # for service; parked senders may inject again.
+                    self.release_credit()
                 offset += item.cost(self)
                 self.engine.schedule(offset, self._execute_item, item)
                 serviced += 1
             yield Delay(offset)
             # Items that arrived during the batch are picked up next round.
+        if serviced:
+            self.progress_epoch += 1
         self.trace.incr("pami.items_serviced", serviced)
         self.busy_time += self.engine.now - start
         return serviced
@@ -176,23 +276,44 @@ class PamiContext:
             self.lock.release()
         return serviced
 
-    def wait_with_progress(self, event: Event) -> Generator[Any, Any, Any]:
+    def wait_with_progress(
+        self, event: Event, deadline: float | None = None
+    ) -> Generator[Any, Any, Any]:
         """Block until ``event`` triggers, advancing this context meanwhile.
 
         This is the PAMI blocking-wait idiom: the waiting thread *is* the
         progress engine. It is what lets a default-mode (no async thread)
         process service remote AMOs while sitting in a blocking call — and
         why a default-mode process that is *computing* services nothing.
+
+        With a ``deadline`` (absolute simulated time), the wait raises
+        :class:`~repro.errors.DeadlineExceededError` once the clock
+        reaches it, instead of blocking forever.
         """
-        while not event.triggered:
-            if len(self.queue) == 0:
-                # Sleep until either our op completes (possibly drained by
-                # another thread) or new work arrives for us to service.
-                yield WaitAny([event, self.arrival_signal()])
-                continue
-            # Bound each advance to the work pending at entry (one
-            # PAMI_Context_advance): under a continuous stream of remote
-            # requests the queue never empties, and an unbounded drain
-            # would starve the waiter from ever re-checking its event.
-            yield from self.advance(max_items=len(self.queue))
-        return event.value
+        timer: TimerEvent | None = None
+        try:
+            while not event.triggered:
+                if deadline is not None and self.engine.now >= deadline:
+                    self.trace.incr("pami.wait_deadline_expired")
+                    raise DeadlineExceededError(
+                        f"wait on context r{self.client.rank}.ctx{self.index} "
+                        f"exceeded deadline t={deadline:.6g}s"
+                    )
+                if len(self.queue) == 0:
+                    # Sleep until either our op completes (possibly drained
+                    # by another thread) or new work arrives to service.
+                    waits = [event, self.arrival_signal()]
+                    if deadline is not None:
+                        if timer is None:
+                            timer = deadline_timer(self.engine, deadline)
+                        waits.append(timer)
+                    yield WaitAny(waits)
+                    continue
+                # Bound each advance to the work pending at entry (one
+                # PAMI_Context_advance): under a continuous stream of remote
+                # requests the queue never empties, and an unbounded drain
+                # would starve the waiter from ever re-checking its event.
+                yield from self.advance(max_items=len(self.queue))
+            return event.value
+        finally:
+            cancel_timer(timer)

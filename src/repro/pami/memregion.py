@@ -69,9 +69,50 @@ class MemoryRegionRegistry:
         self._bases: list[int] = []
         self._regions: dict[int, MemoryRegion] = {}
         self._next_id = 0
+        self._reserved = 0
 
     def __len__(self) -> int:
         return len(self._regions)
+
+    @property
+    def in_use(self) -> int:
+        """Budget slots consumed: registered regions plus reservations."""
+        return len(self._regions) + self._reserved
+
+    @property
+    def available(self) -> int | None:
+        """Free budget slots, or ``None`` when unbounded."""
+        if self.max_regions is None:
+            return None
+        return max(self.max_regions - self.in_use, 0)
+
+    def reserve(self) -> bool:
+        """Claim one budget slot for an external holder (region cache).
+
+        Cached *remote* region handles pin NIC resources just like local
+        registrations; when the cache is bound to a budget its entries
+        draw from the same pool. Returns False when no slot is free.
+        """
+        if self.max_regions is not None and self.in_use >= self.max_regions:
+            return False
+        self._reserved += 1
+        return True
+
+    def release(self) -> None:
+        """Return a slot taken with :meth:`reserve`."""
+        if self._reserved <= 0:
+            raise PamiError(f"rank {self.rank}: releasing unreserved slot")
+        self._reserved -= 1
+
+    def exhaust(self) -> int:
+        """Clamp the budget to what is currently in use (chaos fault).
+
+        Every subsequent :meth:`create`/:meth:`reserve` fails until a
+        slot frees (destroy/release), modelling registration failure
+        under node-wide memory pressure. Returns the clamped budget.
+        """
+        self.max_regions = self.in_use
+        return self.max_regions
 
     def create(self, base: int, nbytes: int) -> Generator[Any, Any, MemoryRegion]:
         """Register ``[base, base+nbytes)``; a generator costing delta.
@@ -86,7 +127,7 @@ class MemoryRegionRegistry:
         """
         if nbytes <= 0:
             raise PamiError(f"region size must be positive, got {nbytes}")
-        if self.max_regions is not None and len(self._regions) >= self.max_regions:
+        if self.max_regions is not None and self.in_use >= self.max_regions:
             raise ResourceExhaustedError(
                 f"rank {self.rank}: memory-region budget "
                 f"({self.max_regions}) exhausted"

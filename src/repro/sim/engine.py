@@ -11,6 +11,29 @@ from .process import ProcessBody, SimProcess
 from .event import Event
 
 
+class Timer:
+    """Handle to a cancellable scheduled callback (:meth:`Engine.schedule_timer`).
+
+    A cancelled timer's heap entry is skipped when reached — without
+    advancing the clock — so abandoned deadline timers neither fire nor
+    stretch the simulated run to their expiry time.
+    """
+
+    __slots__ = ("_callback", "_arg", "cancelled")
+
+    def __init__(self, callback: Callable[[Any], None], arg: Any) -> None:
+        self._callback = callback
+        self._arg = arg
+        self.cancelled = False
+
+    def __call__(self, _arg: Any) -> None:
+        if not self.cancelled:
+            self._callback(self._arg)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Engine:
     """Deterministic discrete-event scheduler.
 
@@ -42,6 +65,16 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback, arg))
+
+    def schedule_timer(
+        self, delay: float, callback: Callable[[Any], None], arg: Any = None
+    ) -> Timer:
+        """Like :meth:`schedule`, returning a cancellable :class:`Timer`."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        timer = Timer(callback, arg)
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), timer, None))
+        return timer
 
     def event(self, name: str = "") -> Event:
         """Create a fresh one-shot :class:`Event` bound to this engine."""
@@ -88,6 +121,9 @@ class Engine:
             if self._failure is not None:
                 raise self._failure
             time, _seq, callback, arg = self._heap[0]
+            if type(callback) is Timer and callback.cancelled:
+                heapq.heappop(self._heap)
+                continue
             if until is not None and time > until:
                 self._now = until
                 return self._now
