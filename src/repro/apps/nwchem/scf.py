@@ -111,6 +111,8 @@ def run_scf(
     label: str | None = None,
     chaos=None,
     fault_plan=None,
+    engine=None,
+    on_job=None,
 ) -> ScfResult:
     """Run the SCF proxy and return aggregated results.
 
@@ -121,7 +123,11 @@ def run_scf(
     ``chaos`` (a :class:`repro.chaos.ChaosConfig`) injects transient
     communication faults, which the ARMCI retry layer must absorb — the
     task accounting check below then doubles as an exactly-once audit.
-    ``fault_plan`` schedules hard rank crashes.
+    ``fault_plan`` schedules hard rank crashes. ``engine`` supplies a
+    pre-built :class:`~repro.sim.engine.Engine` (e.g. one with a
+    schedule-exploration policy); ``on_job`` is called with the
+    initialized :class:`ArmciJob` before the run starts (verification
+    harness hook point).
     """
     scf = scf_config if scf_config is not None else ScfConfig()
     nbf = scf.nbf
@@ -136,8 +142,11 @@ def run_scf(
         procs_per_node=min(procs_per_node, num_procs),
         chaos=chaos,
         fault_plan=fault_plan,
+        engine=engine,
     )
     job.init()
+    if on_job is not None:
+        on_job(job)
     t_start = job.engine.now
 
     def body(rt):

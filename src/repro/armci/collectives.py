@@ -166,11 +166,13 @@ def barrier(
     """
     if deadline is None:
         deadline = rt._op_deadline(None)
+    rt._observe("on_barrier_enter")
     release = rt.job.hw_barrier.arrive(rt.rank)
     value = yield from rt.main_context.wait_with_progress(
         release, deadline=deadline
     )
     check_completion(value)
+    rt._observe("on_barrier_exit")
     rt.trace.incr("armci.barriers")
 
 

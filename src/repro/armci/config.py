@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ArmciError
+from .consistency import is_known_tracker, known_trackers
 
-#: Valid consistency-tracker names (Section III-E).
+#: Built-in consistency-tracker names (Section III-E). Additional
+#: implementations may be registered via ``consistency.register_tracker``.
 TRACKERS = ("cs_tgt", "cs_mr")
 #: Valid strided-protocol names (Section III-C.2).
 STRIDED_PROTOCOLS = ("zero_copy", "pack", "auto")
@@ -125,10 +127,10 @@ class ArmciConfig:
     def __post_init__(self) -> None:
         if self.num_contexts < 1:
             raise ArmciError(f"need >= 1 context, got {self.num_contexts}")
-        if self.consistency_tracker not in TRACKERS:
+        if not is_known_tracker(self.consistency_tracker):
             raise ArmciError(
                 f"unknown tracker {self.consistency_tracker!r}; "
-                f"valid: {TRACKERS}"
+                f"valid: {known_trackers()}"
             )
         if self.strided_protocol not in STRIDED_PROTOCOLS:
             raise ArmciError(

@@ -28,3 +28,21 @@ NOTIFY = 11
 GROUP_MESSAGE = 12
 #: Two-sided tag-matched message (repro.mpilike comparison layer).
 MPILIKE_MESSAGE = 13
+
+#: Reverse map id -> name, for protocol-level service logs (repro.verify)
+#: and debug output.
+DISPATCH_NAMES = {
+    REGION_QUERY: "region_query",
+    GET_REQUEST: "get_request",
+    PUT_REQUEST: "put_request",
+    ACC_REQUEST: "acc_request",
+    STRIDED_PACKED_PUT: "strided_packed_put",
+    STRIDED_PACKED_GET: "strided_packed_get",
+    LOCK_REQUEST: "lock_request",
+    UNLOCK_REQUEST: "unlock_request",
+    VECTOR_PUT: "vector_put",
+    VECTOR_GET: "vector_get",
+    NOTIFY: "notify",
+    GROUP_MESSAGE: "group_message",
+    MPILIKE_MESSAGE: "mpilike_message",
+}

@@ -148,6 +148,7 @@ class ArmciJob:
         link_contention: bool = False,
         chaos=None,
         fault_plan=None,
+        engine=None,
     ) -> None:
         self.config = config if config is not None else ArmciConfig()
         if world is None:
@@ -161,9 +162,12 @@ class ArmciJob:
                 nic_amo_support=nic_amo_support,
                 link_contention=link_contention,
                 chaos=chaos,
+                engine=engine,
             )
         elif chaos is not None:
             raise ArmciError("pass chaos to the PamiWorld when supplying one")
+        elif engine is not None:
+            raise ArmciError("pass the engine to the PamiWorld when supplying one")
         # Crash times in a job-level fault plan are measured from the
         # start of job.run() (application time), not from construction —
         # init's simulated cost must not eat into the schedule. Validate
@@ -332,6 +336,10 @@ class ArmciProcess:
             budget_registry=budget_registry,
         )
         self.tracker = make_tracker(job.config.consistency_tracker)
+        #: Optional verification observer (``repro.verify``): receives
+        #: every data-movement and synchronization event on this rank.
+        #: ``None`` (the default) keeps the hooks zero-cost.
+        self.observer = None
         self.mutexes = MutexTable()
         self.notify_board = _notify.NotifyBoard()
         self.async_thread = None
@@ -363,61 +371,62 @@ class ArmciProcess:
         yield from _coll.barrier(self)
 
     def _register_handlers(self) -> None:
-        c = self.client
-        c.register_dispatch(
-            _disp.REGION_QUERY,
-            lambda ctx, env: _cont.handle_region_query(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.GET_REQUEST,
-            lambda ctx, env: _cont.handle_get_request(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.PUT_REQUEST,
-            lambda ctx, env: _cont.handle_put_request(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.ACC_REQUEST,
-            lambda ctx, env: _acc.handle_acc_request(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.STRIDED_PACKED_PUT,
-            lambda ctx, env: _str.handle_strided_packed_put(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.STRIDED_PACKED_GET,
-            lambda ctx, env: _str.handle_strided_packed_get(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.LOCK_REQUEST,
-            lambda ctx, env: _locks.handle_lock_request(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.UNLOCK_REQUEST,
-            lambda ctx, env: _locks.handle_unlock_request(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.VECTOR_PUT,
-            lambda ctx, env: _vec.handle_vector_put(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.VECTOR_GET,
-            lambda ctx, env: _vec.handle_vector_get(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.NOTIFY,
-            lambda ctx, env: _notify.handle_notify(self, ctx, env),
-        )
-        c.register_dispatch(
-            _disp.GROUP_MESSAGE,
-            lambda ctx, env: _groups.handle_group_message(self, ctx, env),
-        )
         from ..mpilike import msg as _msg
 
-        c.register_dispatch(
-            _disp.MPILIKE_MESSAGE,
-            lambda ctx, env: _msg.handle_message(self, ctx, env),
-        )
+        handlers = {
+            _disp.REGION_QUERY:
+                lambda ctx, env: _cont.handle_region_query(self, ctx, env),
+            _disp.GET_REQUEST:
+                lambda ctx, env: _cont.handle_get_request(self, ctx, env),
+            _disp.PUT_REQUEST:
+                lambda ctx, env: _cont.handle_put_request(self, ctx, env),
+            _disp.ACC_REQUEST:
+                lambda ctx, env: _acc.handle_acc_request(self, ctx, env),
+            _disp.STRIDED_PACKED_PUT:
+                lambda ctx, env: _str.handle_strided_packed_put(self, ctx, env),
+            _disp.STRIDED_PACKED_GET:
+                lambda ctx, env: _str.handle_strided_packed_get(self, ctx, env),
+            _disp.LOCK_REQUEST:
+                lambda ctx, env: _locks.handle_lock_request(self, ctx, env),
+            _disp.UNLOCK_REQUEST:
+                lambda ctx, env: _locks.handle_unlock_request(self, ctx, env),
+            _disp.VECTOR_PUT:
+                lambda ctx, env: _vec.handle_vector_put(self, ctx, env),
+            _disp.VECTOR_GET:
+                lambda ctx, env: _vec.handle_vector_get(self, ctx, env),
+            _disp.NOTIFY:
+                lambda ctx, env: _notify.handle_notify(self, ctx, env),
+            _disp.GROUP_MESSAGE:
+                lambda ctx, env: _groups.handle_group_message(self, ctx, env),
+            _disp.MPILIKE_MESSAGE:
+                lambda ctx, env: _msg.handle_message(self, ctx, env),
+        }
+        for dispatch_id, fn in handlers.items():
+            self.client.register_dispatch(
+                dispatch_id, self._wrap_handler(dispatch_id, fn)
+            )
+
+    def _wrap_handler(self, dispatch_id: int, fn):
+        """Route one AM handler through the verification observer.
+
+        The observer check is dynamic, so attaching an observer after
+        init still sees target-side service events; with none attached
+        the wrapper is a single attribute test.
+        """
+
+        def handler(ctx, env):
+            obs = self.observer
+            if obs is not None:
+                obs.on_am_service(self.rank, dispatch_id, env.src)
+            fn(ctx, env)
+
+        return handler
+
+    def _observe(self, method: str, *args) -> None:
+        """Emit one observer event (non-generator; no-op when detached)."""
+        obs = self.observer
+        if obs is not None:
+            getattr(obs, method)(self.rank, *args)
 
     # ----------------------------------------------------------- retry
 
@@ -669,6 +678,7 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _cont.nbput_fallback(self, dst, local_addr, remote_addr, nbytes, h)
         self.tracker.on_write(dst, key)
+        self._observe("on_write", dst, key, remote_addr, nbytes, "put")
         return h
 
     def nbget(
@@ -694,6 +704,7 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _cont.nbget_fallback(self, dst, local_addr, remote_addr, nbytes, h)
         self.tracker.on_get(dst, key)
+        self._observe("on_read", dst, key, remote_addr, nbytes, "get")
         return h
 
     def put(
@@ -753,6 +764,9 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _str.nbput_strided_pack(self, dst, local_base, remote_base, desc, h)
         self.tracker.on_write(dst, key)
+        if self.observer is not None:
+            ext = max(desc.chunk_offsets("dst")) + desc.shape.chunk_bytes
+            self._observe("on_write", dst, key, remote_base, ext, "puts")
         return h
 
     def nbgets(
@@ -782,6 +796,9 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _str.nbget_strided_pack(self, dst, local_base, remote_base, desc, h)
         self.tracker.on_get(dst, key)
+        if self.observer is not None:
+            ext = max(desc.chunk_offsets("dst")) + desc.shape.chunk_bytes
+            self._observe("on_read", dst, key, remote_base, ext, "gets")
         return h
 
     def puts(
@@ -824,6 +841,9 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _vec.nbputv_pack(self, dst, vec, h)
         self.tracker.on_write(dst, key)
+        if self.observer is not None:
+            lo, ext = vec.remote_extent()
+            self._observe("on_write", dst, key, lo, ext, "putv")
         return h
 
     def _resolve_vector_regions(
@@ -860,6 +880,9 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _vec.nbgetv_pack(self, dst, vec, h)
         self.tracker.on_get(dst, key)
+        if self.observer is not None:
+            lo, ext = vec.remote_extent()
+            self._observe("on_read", dst, key, lo, ext, "getv")
         return h
 
     def nbputv_aggregated(
@@ -882,6 +905,9 @@ class ArmciProcess:
             yield from self._acquire_send_credit(dst, self._op_deadline(None))
             _vec.nbputv_pack(self, dst, vec, h)
         self.tracker.on_write(dst, key)
+        if self.observer is not None:
+            lo, ext = vec.remote_extent()
+            self._observe("on_write", dst, key, lo, ext, "aggputv")
         return h
 
     def aggregate(self, dst: int):
@@ -935,6 +961,7 @@ class ArmciProcess:
         yield from self._acquire_send_credit(dst, self._op_deadline(None))
         _acc.nbacc(self, dst, local_addr, remote_addr, nbytes, scale, h)
         self.tracker.on_write(dst, key)
+        self._observe("on_write", dst, key, remote_addr, nbytes, "acc")
         return h
 
     def acc(
@@ -988,12 +1015,15 @@ class ArmciProcess:
         self.trace.add_time("armci.rmw_wait_time", self.engine.now - t0)
         self.trace.interval(f"r{self.rank}", "counter", t0, self.engine.now)
         self.trace.incr("armci.rmws")
+        self._observe("on_rmw", dst, addr)
         return old
 
     # ------------------------------------------------- synchronization
 
     def _fence_if_conflicting(self, dst: int, key) -> Generator[Any, Any, None]:
-        if self.tracker.needs_fence(dst, key):
+        fenced = self.tracker.needs_fence(dst, key)
+        self._observe("on_fence_decision", dst, key, fenced)
+        if fenced:
             self.trace.incr("armci.fences_forced")
             yield from self.fence(dst)
         elif self.has_pending_writes(dst):
@@ -1026,6 +1056,7 @@ class ArmciProcess:
                 continue
             check_completion(ack.value)
         self.tracker.on_fence(dst)
+        self._observe("on_fence", dst)
         self.trace.incr("armci.fences")
         self.trace.interval(f"r{self.rank}", "fence", t0, self.engine.now)
 
@@ -1090,6 +1121,9 @@ class ArmciProcess:
 
     def notify(self, dst: int) -> Generator[Any, Any, None]:
         """Notify ``dst``; delivered after all prior puts to ``dst``."""
+        # Observed at send initiation: the send precedes delivery, so the
+        # observer's send event always lands before the matching wait.
+        self._observe("on_notify", dst)
         yield from _notify.notify(self, dst)
 
     def notify_wait(
@@ -1097,6 +1131,7 @@ class ArmciProcess:
     ) -> Generator[Any, Any, None]:
         """Wait for (and consume) one notification from ``src``."""
         yield from _notify.notify_wait(self, src, deadline=self._op_deadline(timeout))
+        self._observe("on_notify_wait", src)
 
     # ------------------------------------------------------------ locks
 
@@ -1111,9 +1146,15 @@ class ArmciProcess:
         yield from self._with_retry(
             lambda: _locks.lock(self, mutex_id), "lock", self._op_deadline(timeout)
         )
+        self._observe("on_lock", mutex_id)
 
     def unlock(self, mutex_id: int) -> Generator[Any, Any, None]:
         """Release a distributed ARMCI mutex."""
+        # Observed at release *initiation*: the release strictly precedes
+        # the owner granting the mutex to the next waiter, so the
+        # observer sees release -> acquire in happens-before order even
+        # when the releaser's completion reply races the grant message.
+        self._observe("on_unlock", mutex_id)
         yield from _locks.unlock(self, mutex_id)
 
     # --------------------------------------------------------- progress

@@ -136,6 +136,19 @@ class ChaosConfig:
             or (self.jitter_prob > 0.0 and self.jitter_max > 0.0)
         )
 
+    @classmethod
+    def light(cls, seed: int = 0) -> "ChaosConfig":
+        """Mild preset (low drop/dup/jitter): enough injection to shake
+        retry and ordering paths without drowning a run in retransmits.
+        Used by the verification fuzz targets."""
+        return cls(
+            seed=seed,
+            drop_prob=0.02,
+            dup_prob=0.02,
+            jitter_prob=0.1,
+            jitter_max=2e-6,
+        )
+
 
 @dataclass(frozen=True)
 class RankCrash:

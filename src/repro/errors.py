@@ -55,6 +55,12 @@ class ConsistencyError(ArmciError):
     """A location-consistency invariant was violated."""
 
 
+class VerificationError(ReproError):
+    """The verification subsystem (``repro.verify``) found a defect:
+    an oracle-flagged missed fence, a data race, or a schedule-dependent
+    divergence a fuzz run could not shrink cleanly."""
+
+
 class HandleError(ArmciError):
     """Misuse of a non-blocking request handle (double wait, reuse...)."""
 

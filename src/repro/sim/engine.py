@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from typing import Any, Callable, Iterable
 
 from ..errors import DeadlockError, SimulationError
@@ -34,18 +35,181 @@ class Timer:
         self.cancelled = True
 
 
+# --------------------------------------------------------------- policies
+
+#: Tie-break band assigned to events scheduled past a policy's ``limit``
+#: (mid-range, so un-perturbed events keep FIFO order among themselves).
+_FIFO_BAND = 1 << 31
+#: Band that sorts a demoted event behind every other equal-time event.
+_DEMOTED_BAND = 1 << 33
+
+
+class SchedulePolicy:
+    """Equal-timestamp tie-breaking policy for :class:`Engine`.
+
+    The engine orders its heap by ``(time, key)``; the policy supplies
+    ``key`` for each scheduled entry. Events at *different* simulated
+    times are never reordered — a policy only permutes the execution
+    order of logically concurrent (equal-timestamp) events, which the
+    default engine runs in FIFO submission order.
+
+    The base class is an explicit FIFO policy: every event gets the same
+    band, so ties fall through to the submission sequence number. It
+    reproduces exactly the ``Engine(policy=None)`` order while enabling
+    the schedule bookkeeping (digest/log) the verification harness uses.
+
+    Subclasses override :meth:`key`. Keys must be ``(band, seq)`` tuples
+    (``seq`` last) so entries from one policy are mutually comparable and
+    the engine can recover the submission number for its schedule log.
+    """
+
+    name = "fifo"
+
+    def key(self, seq: int) -> tuple[int, int]:
+        """Tie-break key for the ``seq``-th scheduled entry."""
+        return (_FIFO_BAND, seq)
+
+    def describe(self) -> str:
+        """Human-readable policy label for logs and reports."""
+        return self.name
+
+
+class RandomTieBreakPolicy(SchedulePolicy):
+    """Seeded uniform tie-breaking: concurrent events run in random order.
+
+    Each scheduled entry draws a 32-bit band, so equal-timestamp events
+    execute in a seed-determined random permutation of submission order.
+    ``limit`` bounds the perturbation to the first ``limit`` scheduled
+    entries (later entries take the neutral FIFO band) — the knob the
+    shrinker bisects to find a minimal failing perturbation.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int, limit: int | None = None) -> None:
+        if limit is not None and limit < 0:
+            raise SimulationError(f"policy limit must be >= 0, got {limit}")
+        self.seed = seed
+        self.limit = limit
+        self._rng = random.Random(seed)
+        self._issued = 0
+
+    def key(self, seq: int) -> tuple[int, int]:
+        self._issued += 1
+        if self.limit is not None and self._issued > self.limit:
+            return (_FIFO_BAND, seq)
+        return (self._rng.getrandbits(32), seq)
+
+    def describe(self) -> str:
+        lim = "" if self.limit is None else f",limit={self.limit}"
+        return f"{self.name}(seed={self.seed}{lim})"
+
+
+class PriorityPerturbationPolicy(SchedulePolicy):
+    """Bounded PCT-style perturbation (Burckhardt et al. priority fuzzing).
+
+    Equal-timestamp events are split into a small number of priority
+    ``bands`` (FIFO *within* a band, so the perturbation is coarser and
+    more structured than uniform tie-breaking), and ``demotions`` randomly
+    chosen schedule points are pushed behind every other concurrent event
+    — the "one event delayed a long time" schedules that uniform random
+    tie-breaks almost never produce, and that expose lost-wakeup and
+    stale-read bugs. ``horizon`` is the schedule-index range the demotion
+    points are drawn from; ``limit`` bounds perturbation for shrinking.
+    """
+
+    name = "pct"
+
+    def __init__(
+        self,
+        seed: int,
+        bands: int = 3,
+        demotions: int = 4,
+        horizon: int = 8192,
+        limit: int | None = None,
+    ) -> None:
+        if bands < 1:
+            raise SimulationError(f"need >= 1 priority band, got {bands}")
+        if demotions < 0:
+            raise SimulationError(f"demotions must be >= 0, got {demotions}")
+        if horizon < 1:
+            raise SimulationError(f"horizon must be >= 1, got {horizon}")
+        if limit is not None and limit < 0:
+            raise SimulationError(f"policy limit must be >= 0, got {limit}")
+        self.seed = seed
+        self.bands = bands
+        self.demotions = demotions
+        self.horizon = horizon
+        self.limit = limit
+        self._rng = random.Random(seed)
+        self._change_points = frozenset(
+            self._rng.sample(range(horizon), min(demotions, horizon))
+        )
+        self._issued = 0
+
+    def key(self, seq: int) -> tuple[int, int]:
+        i = self._issued
+        self._issued += 1
+        if self.limit is not None and i >= self.limit:
+            return (_FIFO_BAND, seq)
+        if i in self._change_points:
+            return (_DEMOTED_BAND, seq)
+        return (self._rng.randrange(self.bands), seq)
+
+    def describe(self) -> str:
+        lim = "" if self.limit is None else f",limit={self.limit}"
+        return (
+            f"{self.name}(seed={self.seed},bands={self.bands},"
+            f"demotions={self.demotions}{lim})"
+        )
+
+
+def _mix64(h: int, v: int) -> int:
+    """splitmix64 step folding ``v`` into running digest ``h``."""
+    x = (h ^ v) * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
 class Engine:
     """Deterministic discrete-event scheduler.
 
-    Maintains a heap of ``(time, seq, callback, arg)`` entries. Equal
-    timestamps are broken FIFO by the monotonically increasing sequence
-    number, so runs are exactly reproducible.
+    Maintains a heap of ``(time, key, callback, arg)`` entries. With no
+    policy configured (the default), ``key`` is the monotonically
+    increasing submission sequence number, so equal timestamps are broken
+    FIFO and runs are exactly reproducible — bit-for-bit the historical
+    behaviour. With a :class:`SchedulePolicy`, ``key`` is the policy's
+    ``(band, seq)`` tuple: equal-timestamp events execute in the policy's
+    (still fully deterministic, seed-driven) order, which is how the
+    verification harness explores alternative schedules.
+
+    Parameters
+    ----------
+    policy:
+        Optional tie-breaking policy. ``None`` = FIFO (default).
+    record_schedule:
+        If True, every executed entry is appended to :attr:`schedule_log`
+        as ``(time, seq)`` — the raw material for divergence logs. Off by
+        default (it grows with the run).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        policy: SchedulePolicy | None = None,
+        record_schedule: bool = False,
+    ) -> None:
+        if policy is not None and not isinstance(policy, SchedulePolicy):
+            raise SimulationError(
+                f"policy must be a SchedulePolicy, got {type(policy).__name__}"
+            )
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self._heap: list[tuple[float, Any, Callable[[Any], None], Any]] = []
         self._seq = itertools.count()
+        self._policy = policy
+        self._record = record_schedule
+        self._schedule_log: list[tuple[float, int]] = []
+        self._digest = 0
         self._live_processes: set[SimProcess] = set()
         self._failure: BaseException | None = None
         self._events_executed = 0
@@ -60,20 +224,55 @@ class Engine:
         """Number of scheduler entries executed so far (for diagnostics)."""
         return self._events_executed
 
-    def schedule(self, delay: float, callback: Callable[[Any], None], arg: Any = None) -> None:
-        """Run ``callback(arg)`` after ``delay`` seconds of simulated time."""
+    @property
+    def policy(self) -> SchedulePolicy | None:
+        """The configured tie-breaking policy (None = FIFO)."""
+        return self._policy
+
+    @property
+    def schedule_digest(self) -> int:
+        """64-bit fingerprint of the executed event order.
+
+        Two runs with the same digest executed entries in the same
+        submission order; distinct digests mean distinct schedules. Only
+        maintained when a policy is configured or recording is on (the
+        default FIFO path skips the bookkeeping entirely).
+        """
+        return self._digest
+
+    @property
+    def schedule_log(self) -> list[tuple[float, int]]:
+        """Executed ``(time, seq)`` entries (``record_schedule`` only)."""
+        return self._schedule_log
+
+    def _push(self, delay: float, callback: Callable[[Any], None], arg: Any) -> None:
+        """Normalize and push one heap entry.
+
+        Every entry is a 4-tuple ``(time, key, callback, arg)`` — both
+        schedule paths (plain callbacks and :class:`Timer` wrappers) go
+        through here, so the run loop can rely on the shape regardless of
+        policy.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback, arg))
+        if not callable(callback):
+            raise SimulationError(
+                f"scheduled callback must be callable, got {type(callback).__name__}"
+            )
+        seq = next(self._seq)
+        key: Any = seq if self._policy is None else self._policy.key(seq)
+        heapq.heappush(self._heap, (self._now + delay, key, callback, arg))
+
+    def schedule(self, delay: float, callback: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``callback(arg)`` after ``delay`` seconds of simulated time."""
+        self._push(delay, callback, arg)
 
     def schedule_timer(
         self, delay: float, callback: Callable[[Any], None], arg: Any = None
     ) -> Timer:
         """Like :meth:`schedule`, returning a cancellable :class:`Timer`."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
         timer = Timer(callback, arg)
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), timer, None))
+        self._push(delay, timer, None)
         return timer
 
     def event(self, name: str = "") -> Event:
@@ -115,13 +314,17 @@ class Engine:
         """Execute scheduled work until the heap drains or ``until`` passes.
 
         Returns the final simulated time. Re-raises the first process
-        failure, if any.
+        failure, if any. Cancelled :class:`Timer` entries are discarded
+        without executing, advancing the clock, or counting toward
+        :attr:`events_executed` — under any tie-breaking policy
+        (``isinstance``, so Timer subclasses are covered too).
         """
+        track = self._policy is not None or self._record
         while self._heap:
             if self._failure is not None:
                 raise self._failure
-            time, _seq, callback, arg = self._heap[0]
-            if type(callback) is Timer and callback.cancelled:
+            time, key, callback, arg = self._heap[0]
+            if isinstance(callback, Timer) and callback.cancelled:
                 heapq.heappop(self._heap)
                 continue
             if until is not None and time > until:
@@ -130,6 +333,11 @@ class Engine:
             heapq.heappop(self._heap)
             self._now = time
             self._events_executed += 1
+            if track:
+                seq = key[-1] if isinstance(key, tuple) else key
+                self._digest = _mix64(self._digest, seq)
+                if self._record:
+                    self._schedule_log.append((time, seq))
             callback(arg)
         if self._failure is not None:
             raise self._failure

@@ -58,6 +58,10 @@ class Trace:
         if self.record_intervals and end > start:
             self.intervals.append(Interval(lane, label, start, end))
 
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of all counters (for before/after deltas)."""
+        return dict(self.counters)
+
     def clear(self) -> None:
         """Reset all counters, durations, samples, and intervals."""
         self.counters.clear()

@@ -1,0 +1,40 @@
+"""Deliberately-broken tracker mutants for oracle self-tests.
+
+The oracle is only trustworthy if it actually catches a tracker that
+violates location consistency. These mutants are registered in the
+normal tracker registry, so a fuzz target run with
+``tracker="cs_mr_broken_on_write"`` exercises the full production path —
+config validation, ``make_tracker``, every op site — with one seeded
+defect the oracle must flag.
+"""
+
+from __future__ import annotations
+
+from ..armci.consistency import CsMrTracker, RegionKey, register_tracker
+
+
+class BrokenOnWriteTracker(CsMrTracker):
+    """Mutant: never records writes, so no get ever fences.
+
+    Every get that follows an outstanding write to the same region is a
+    missed fence the oracle must report.
+    """
+
+    def on_write(self, dst: int, key: RegionKey) -> None:
+        self._check_key(key)  # keep the key-validation behaviour
+
+
+class BrokenFenceTracker(CsMrTracker):
+    """Mutant: fences never clear write status.
+
+    Sound but pessimal — every region written once fences forever. The
+    oracle reports these as false-positive fences, never as missed
+    fences: the overhead/correctness distinction the counters encode.
+    """
+
+    def on_fence(self, dst: int) -> None:
+        pass
+
+
+register_tracker("cs_mr_broken_on_write", BrokenOnWriteTracker)
+register_tracker("cs_mr_broken_fence", BrokenFenceTracker)

@@ -1,0 +1,186 @@
+"""Seed shrinking: reduce a failing fuzz run to a minimal divergence.
+
+A failing ``(target, seed, policy)`` triple is shrunk along the policy's
+``limit`` axis: with ``limit=L`` only the first ``L`` scheduling
+decisions are perturbed and everything after runs FIFO, so the smallest
+failing ``L`` isolates the earliest perturbation window that still
+triggers the defect. The last passing run (``limit = L_min - 1``) and
+the minimal failing run are then diffed at the protocol level — the
+oracle's target-side AM service logs — producing a
+:class:`DivergenceLog` that names the first reordered service event.
+
+If the target fails even at ``limit=0`` (pure FIFO) the defect is not
+schedule-dependent; the shrinker reports ``minimal_limit=0`` with the
+baseline failure, which is exactly what a broken tracker mutant looks
+like.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .fuzz import FuzzResult
+
+
+@dataclass
+class DivergenceLog:
+    """Protocol-level diff between the last passing and minimal failing
+    runs of a shrunk seed."""
+
+    target: str
+    seed: int
+    policy: str
+    minimal_limit: int
+    failures: list[str]
+    #: Index of the first differing AM service event (-1 = logs agree or
+    #: no passing run exists to diff against).
+    first_divergence: int = -1
+    #: Context window around the divergence: (index, passing, failing)
+    #: rows rendered as strings.
+    window: list[tuple[int, str, str]] = field(default_factory=list)
+    note: str = ""
+
+    def render(self) -> str:
+        """The artifact text written to the divergence-log directory."""
+        lines = [
+            f"target:        {self.target}",
+            f"seed:          {self.seed}",
+            f"policy:        {self.policy}",
+            f"minimal limit: {self.minimal_limit}",
+            "failures:",
+        ]
+        lines += [f"  - {f}" for f in self.failures] or ["  (none)"]
+        if self.note:
+            lines.append(f"note: {self.note}")
+        if self.first_divergence >= 0:
+            lines.append(
+                f"first service-log divergence at event {self.first_divergence}:"
+            )
+            lines.append(f"  {'idx':>6}  {'passing run':<40} failing run")
+            for idx, a, b in self.window:
+                marker = "*" if a != b else " "
+                lines.append(f" {marker}{idx:>6}  {a:<40} {b}")
+        else:
+            lines.append("service logs agree (divergence is timing-only)")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal failing run + its divergence."""
+
+    minimal_limit: int
+    failing: FuzzResult
+    passing: FuzzResult | None
+    log: DivergenceLog
+
+
+def _service_lines(result: FuzzResult) -> list[str]:
+    if result.oracle is None:
+        return []
+    return [
+        f"r{rank} services {name} from r{src}"
+        for rank, name, src in result.oracle.report.service_log
+    ]
+
+
+def _diverge(passing: FuzzResult | None, failing: FuzzResult, log: DivergenceLog,
+             context: int = 4) -> None:
+    if passing is None:
+        return
+    a, b = _service_lines(passing), _service_lines(failing)
+    n = max(len(a), len(b))
+    first = -1
+    for i in range(n):
+        ai = a[i] if i < len(a) else "(end)"
+        bi = b[i] if i < len(b) else "(end)"
+        if ai != bi:
+            first = i
+            break
+    log.first_divergence = first
+    if first >= 0:
+        lo, hi = max(0, first - context), min(n, first + context + 1)
+        log.window = [
+            (
+                i,
+                a[i] if i < len(a) else "(end)",
+                b[i] if i < len(b) else "(end)",
+            )
+            for i in range(lo, hi)
+        ]
+
+
+def shrink_seed(
+    target: Callable[..., FuzzResult],
+    seed: int,
+    policy: str = "random",
+    tracker: str = "cs_mr",
+    max_limit: int | None = None,
+) -> ShrinkResult:
+    """Bisect the smallest perturbation limit that still fails.
+
+    ``target(seed, policy=..., tracker=..., limit=...)`` must fail at
+    ``limit=None`` (unbounded). Returns the minimal failing run, the
+    last passing run (``None`` if the baseline itself fails), and the
+    rendered divergence log.
+    """
+    baseline = target(seed, policy=policy, tracker=tracker, limit=0)
+    if not baseline.ok:
+        log = DivergenceLog(
+            target=baseline.target,
+            seed=seed,
+            policy=baseline.policy,
+            minimal_limit=0,
+            failures=baseline.failures,
+            note=(
+                "fails under the unperturbed FIFO schedule too: the defect "
+                "is schedule-independent"
+            ),
+        )
+        return ShrinkResult(minimal_limit=0, failing=baseline, passing=None, log=log)
+
+    full = target(seed, policy=policy, tracker=tracker, limit=max_limit)
+    if full.ok:
+        raise ValueError(
+            f"shrink_seed: {full.target} seed {seed} does not fail at the "
+            f"full perturbation limit"
+        )
+    # Bisection invariant: limit=lo passes, limit=hi fails.
+    lo, hi = 0, max(1, full.decisions)
+    failing, passing = full, baseline
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        run = target(seed, policy=policy, tracker=tracker, limit=mid)
+        if run.ok:
+            lo, passing = mid, run
+        else:
+            hi, failing = mid, run
+    log = DivergenceLog(
+        target=failing.target,
+        seed=seed,
+        policy=failing.policy,
+        minimal_limit=hi,
+        failures=failing.failures,
+    )
+    _diverge(passing, failing, log)
+    return ShrinkResult(minimal_limit=hi, failing=failing, passing=passing, log=log)
+
+
+def write_divergence_log(log: DivergenceLog, directory: str | None = None) -> str:
+    """Write the divergence artifact; returns its path.
+
+    ``directory`` defaults to ``$REPRO_FUZZ_LOG_DIR`` (or
+    ``fuzz-divergence/``) — the path the CI job uploads on failure.
+    """
+    directory = directory or os.environ.get(
+        "REPRO_FUZZ_LOG_DIR", "fuzz-divergence"
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, f"{log.target}-seed{log.seed}-limit{log.minimal_limit}.txt"
+    )
+    with open(path, "w") as fh:
+        fh.write(log.render())
+    return path

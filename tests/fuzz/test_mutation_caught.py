@@ -1,0 +1,118 @@
+"""Oracle self-test: a deliberately broken tracker must be caught, and
+the shrinker must reduce failures to a minimal divergence log."""
+
+import os
+
+import pytest
+
+from repro.armci.config import ArmciConfig
+from repro.armci.consistency import is_known_tracker, make_tracker
+from repro.sim.engine import Engine, RandomTieBreakPolicy
+from repro.verify import (
+    BrokenFenceTracker,
+    BrokenOnWriteTracker,
+    FuzzResult,
+    shrink_seed,
+    target_strided,
+    write_divergence_log,
+)
+
+
+class TestMutantRegistry:
+    def test_mutants_registered(self):
+        assert is_known_tracker("cs_mr_broken_on_write")
+        assert is_known_tracker("cs_mr_broken_fence")
+        assert isinstance(
+            make_tracker("cs_mr_broken_on_write"), BrokenOnWriteTracker
+        )
+
+    def test_mutants_usable_in_config(self):
+        cfg = ArmciConfig(consistency_tracker="cs_mr_broken_on_write")
+        assert cfg.consistency_tracker == "cs_mr_broken_on_write"
+
+
+class TestMutantCaught:
+    def test_broken_on_write_caught_within_25_seeds(self, tmp_path):
+        caught = None
+        for seed in range(25):
+            r = target_strided(seed, tracker="cs_mr_broken_on_write")
+            if not r.ok:
+                caught = (seed, r)
+                break
+        assert caught is not None, "mutant survived 25 seeds"
+        seed, r = caught
+        assert r.oracle.report.missed_fences > 0
+        # Shrink the failure and emit the divergence artifact.
+        shrunk = shrink_seed(
+            target_strided, seed, tracker="cs_mr_broken_on_write"
+        )
+        path = write_divergence_log(shrunk.log, str(tmp_path))
+        assert os.path.exists(path)
+        text = open(path).read()
+        assert "missed_fence" in text
+        assert f"seed:          {seed}" in text
+
+    def test_broken_fence_is_overhead_not_error(self):
+        # The over-fencing mutant must never produce a missed fence —
+        # the oracle distinguishes pessimal from broken.
+        r = target_strided(0, tracker="cs_mr_broken_fence")
+        rep = r.oracle.report
+        assert rep.missed_fences == 0
+        assert rep.false_positive_fences > 0
+
+
+def _schedule_sensitive_target(
+    seed, policy="random", tracker="cs_mr", limit=None
+):
+    """Synthetic engine-level target: fails iff the policy reorders one
+    specific pair of logically concurrent events.
+
+    Exercises the shrinker's bisection path, which the tracker mutants
+    (schedule-independent failures) never reach.
+    """
+    engine = Engine(policy=RandomTieBreakPolicy(seed, limit=limit))
+    order = []
+    for i in range(32):
+        engine.schedule(1e-6, lambda _a, i=i: order.append(i))
+    engine.run()
+    failures = []
+    if order.index(20) < order.index(4):
+        failures.append("event 20 overtook event 4")
+    return FuzzResult(
+        target="synthetic",
+        seed=seed,
+        policy=engine.policy.describe(),
+        digest=engine.schedule_digest,
+        decisions=engine.policy._issued,
+        counters={},
+        oracle=None,
+        failures=failures,
+    )
+
+
+class TestShrinker:
+    def test_bisects_schedule_dependent_failure(self):
+        failing_seed = next(
+            s for s in range(200) if not _schedule_sensitive_target(s).ok
+        )
+        shrunk = shrink_seed(_schedule_sensitive_target, failing_seed)
+        assert not shrunk.failing.ok
+        assert 0 < shrunk.minimal_limit <= shrunk.failing.decisions
+        # Minimality: one decision fewer passes.
+        assert shrunk.passing is not None and shrunk.passing.ok
+        assert shrunk.log.render()  # renders without a service log
+
+    def test_shrink_rejects_passing_seed(self):
+        passing_seed = next(
+            s for s in range(200) if _schedule_sensitive_target(s).ok
+        )
+        with pytest.raises(ValueError):
+            shrink_seed(_schedule_sensitive_target, passing_seed)
+
+    def test_schedule_independent_failure_reports_limit_zero(self):
+        shrunk = shrink_seed(
+            target_strided, 0, tracker="cs_mr_broken_on_write"
+        )
+        assert shrunk.minimal_limit == 0
+        assert shrunk.passing is None
+        assert "schedule-independent" in shrunk.log.note

@@ -344,3 +344,165 @@ def test_trace_sample_series():
     assert trace.samples["lat"] == [1.0, 2.0]
     trace.clear()
     assert not trace.samples
+
+
+# ------------------------------------------------- schedule policies
+
+
+def test_cancelled_timer_subclass_is_skipped():
+    # Regression: the run loop used a `type(...) is Timer` check, so a
+    # cancelled Timer *subclass* popped from the heap executed as a
+    # no-op callback but still advanced the clock to its expiry.
+    from repro.sim.engine import Timer
+
+    class DeadlineTimer(Timer):
+        pass
+
+    eng = Engine()
+    timer = DeadlineTimer(lambda _a: None, None)
+    eng._push(5.0, timer, None)
+    timer.cancel()
+    eng.run()
+    assert eng.now == 0.0
+    assert eng.events_executed == 0
+
+
+def test_cancelled_timer_skipped_under_policy():
+    from repro.sim.engine import RandomTieBreakPolicy
+
+    eng = Engine(policy=RandomTieBreakPolicy(7))
+    fired = []
+    t1 = eng.schedule_timer(1.0, lambda _a: fired.append("a"))
+    eng.schedule_timer(1.0, lambda _a: fired.append("b"))
+    t1.cancel()
+    eng.run()
+    assert fired == ["b"]
+    assert eng.events_executed == 1
+
+
+def test_non_callable_schedule_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(1.0, "not-a-callback")
+
+
+def test_fifo_policy_matches_default_order():
+    from repro.sim.engine import SchedulePolicy
+
+    def run(engine):
+        order = []
+        for i in range(20):
+            engine.schedule(1e-6, lambda _a, i=i: order.append(i))
+        engine.run()
+        return order
+
+    assert run(Engine()) == run(Engine(policy=SchedulePolicy()))
+
+
+def test_random_policy_reorders_equal_timestamps():
+    from repro.sim.engine import RandomTieBreakPolicy
+
+    def run(policy):
+        eng = Engine(policy=policy)
+        order = []
+        for i in range(20):
+            eng.schedule(1e-6, lambda _a, i=i: order.append(i))
+        eng.run()
+        return order
+
+    fifo = run(None)
+    shuffled = run(RandomTieBreakPolicy(1))
+    assert sorted(shuffled) == sorted(fifo)
+    assert shuffled != fifo  # seed 1 permutes 20 equal-time events
+
+
+def test_random_policy_is_deterministic_per_seed():
+    from repro.sim.engine import RandomTieBreakPolicy
+
+    def digest(seed):
+        eng = Engine(policy=RandomTieBreakPolicy(seed))
+        for i in range(50):
+            eng.schedule(1e-6, lambda _a: None)
+        eng.run()
+        return eng.schedule_digest
+
+    assert digest(3) == digest(3)
+    assert digest(3) != digest(4)
+
+
+def test_policy_never_reorders_across_timestamps():
+    from repro.sim.engine import RandomTieBreakPolicy
+
+    eng = Engine(policy=RandomTieBreakPolicy(0))
+    order = []
+    for i in range(10):
+        eng.schedule(i * 1e-6, lambda _a, i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_random_policy_limit_bounds_perturbation():
+    from repro.sim.engine import RandomTieBreakPolicy
+
+    def run(limit):
+        eng = Engine(policy=RandomTieBreakPolicy(5, limit=limit))
+        order = []
+        for i in range(20):
+            eng.schedule(1e-6, lambda _a, i=i: order.append(i))
+        eng.run()
+        return order
+
+    assert run(0) == list(range(20))  # limit=0 is pure FIFO
+    assert run(None) != list(range(20))
+
+
+def test_pct_policy_demotes_events():
+    from repro.sim.engine import PriorityPerturbationPolicy
+
+    eng = Engine(policy=PriorityPerturbationPolicy(2, bands=2, demotions=3,
+                                                   horizon=16))
+    order = []
+    for i in range(16):
+        eng.schedule(1e-6, lambda _a, i=i: order.append(i))
+    eng.run()
+    assert sorted(order) == list(range(16))
+    assert order != list(range(16))
+
+
+def test_record_schedule_log():
+    from repro.sim.engine import SchedulePolicy
+
+    eng = Engine(policy=SchedulePolicy(), record_schedule=True)
+    eng.schedule(1e-6, lambda _a: None)
+    eng.schedule(2e-6, lambda _a: None)
+    eng.run()
+    assert eng.schedule_log == [(1e-6, 0), (2e-6, 1)]
+
+
+def test_default_engine_keeps_digest_bookkeeping_off():
+    eng = Engine()
+    eng.schedule(1e-6, lambda _a: None)
+    eng.run()
+    assert eng.schedule_digest == 0
+    assert eng.schedule_log == []
+
+
+def test_invalid_policy_type_rejected():
+    with pytest.raises(SimulationError):
+        Engine(policy="random")
+
+
+def test_policy_parameter_validation():
+    from repro.sim.engine import (
+        PriorityPerturbationPolicy,
+        RandomTieBreakPolicy,
+    )
+
+    with pytest.raises(SimulationError):
+        RandomTieBreakPolicy(0, limit=-1)
+    with pytest.raises(SimulationError):
+        PriorityPerturbationPolicy(0, bands=0)
+    with pytest.raises(SimulationError):
+        PriorityPerturbationPolicy(0, demotions=-1)
+    with pytest.raises(SimulationError):
+        PriorityPerturbationPolicy(0, horizon=0)
