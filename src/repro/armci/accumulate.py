@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import ArmciError
 from ..pami.activemsg import AmEnvelope, send_am
 from ..pami.context import CompletionItem, PamiContext
+from ..pami.memory import as_u8
 from .handles import Handle
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,7 +36,7 @@ def nbacc(
     if nbytes % 8 != 0:
         raise ArmciError(f"accumulate needs whole float64s, got {nbytes} bytes")
     world = rt.world
-    data = world.space(rt.rank).read(local_addr, nbytes)
+    data = world.space(rt.rank).snapshot(local_addr, nbytes)
     ctx = rt.main_context
     ack = world.engine.event(f"acc.ack.{rt.rank}->{dst}")
     flops_cost = (nbytes // 8) * world.params.acc_flop_time
@@ -77,7 +78,7 @@ def handle_acc_request(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) ->
     """
     h = env.header
     space = rt.world.space(rt.rank)
-    update = np.frombuffer(env.payload, dtype=np.float64)
+    update = as_u8(env.payload).view(np.float64)
     view = space.view(h["addr"], update.size * 8).view(np.float64)
     view += h["scale"] * update
     rt.trace.incr("armci.accs_applied")

@@ -21,11 +21,26 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def _aggregation_buffer(rt: "ArmciProcess", nbytes: int) -> int:
-    """The rank's grow-only staging buffer for aggregation flushes."""
+    """The rank's staging buffer for aggregation flushes.
+
+    Grows geometrically; a regrow frees the outgrown segment (and drops
+    its NIC registration, returning the budget slot) instead of leaking
+    it. Safe at this point: the previous flush snapshots its payload at
+    post time and has completed locally before the next flush stages.
+    """
     state = getattr(rt, "_agg_buffer", None)
     if state is None or nbytes > state[1]:
         size = max(nbytes, 64 * 1024, 0 if state is None else 2 * state[1])
-        addr = rt.world.space(rt.rank).allocate(size)
+        space = rt.world.space(rt.rank)
+        addr = space.allocate(size)
+        if state is not None:
+            old_addr, old_size = state
+            registry = rt.world.regions[rt.rank]
+            region = registry.find(old_addr, old_size)
+            if region is not None:
+                registry.destroy(region)
+            space.free(old_addr)
+            rt.trace.incr("armci.aggregate_buffer_regrows")
         state = (addr, size)
         rt._agg_buffer = state
     return state[0]
@@ -42,7 +57,7 @@ class AggregateHandle:
 
     owner: "ArmciProcess"
     dst: int
-    _staged: list[tuple[int, bytes]] = field(default_factory=list)
+    _staged: list[tuple[int, Any]] = field(default_factory=list)
     _flushed: bool = False
 
     @property
@@ -67,7 +82,7 @@ class AggregateHandle:
             raise ArmciError("aggregate handle already flushed")
         if nbytes <= 0:
             raise ArmciError(f"fragment size must be positive, got {nbytes}")
-        data = self.owner.world.space(self.owner.rank).read(local_addr, nbytes)
+        data = self.owner.world.space(self.owner.rank).snapshot(local_addr, nbytes)
         self._staged.append((remote_addr, data))
         self.owner.trace.incr("armci.aggregate_staged")
 
@@ -93,7 +108,7 @@ class AggregateHandle:
         local_addrs = []
         offset = 0
         for _addr, data in self._staged:
-            space.write(scratch + offset, data)
+            space.write_into(scratch + offset, data)
             local_addrs.append(scratch + offset)
             offset += len(data)
         vec = IoVector(

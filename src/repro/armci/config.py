@@ -83,6 +83,14 @@ class ArmciConfig:
     tall_skinny_threshold:
         Chunk sizes (bytes) strictly below this use the typed-datatype
         path under ``strided_protocol="auto"``.
+    coalesce_chunks:
+        Chunk-run coalescing on the zero-copy strided and vector paths:
+        adjacent chunks contiguous on *both* sides merge into a single
+        RDMA per run (a fully contiguous descriptor collapses to one
+        op). ``True``/``False`` force it on/off everywhere; ``None``
+        (default) enables it only under ``strided_protocol="auto"``, so
+        the paper-figure protocols post exactly one op per chunk
+        (byte-identical Eq. 9 accounting) unless explicitly opted in.
     retry:
         :class:`RetryPolicy` applied by blocking operations to transient
         transport faults (only reachable under chaos injection).
@@ -118,6 +126,7 @@ class ArmciConfig:
     region_cache_capacity: int | None = None
     strided_protocol: str = "zero_copy"
     tall_skinny_threshold: int = 128
+    coalesce_chunks: bool | None = None
     retry: RetryPolicy = RetryPolicy()
     fifo_depth: int | None = None
     memregion_budget: int | None = None
@@ -147,6 +156,11 @@ class ArmciConfig:
                 f"tall_skinny_threshold must be >= 0, got "
                 f"{self.tall_skinny_threshold}"
             )
+        if self.coalesce_chunks not in (None, True, False):
+            raise ArmciError(
+                f"coalesce_chunks must be True, False or None, got "
+                f"{self.coalesce_chunks!r}"
+            )
         if self.fifo_depth is not None and self.fifo_depth < 1:
             raise ArmciError(
                 f"fifo_depth must be >= 1 or None, got {self.fifo_depth}"
@@ -171,6 +185,13 @@ class ArmciConfig:
                 "watchdog_period requires async_thread=True (the watchdog "
                 "monitors the async progress thread)"
             )
+
+    @property
+    def coalesce_effective(self) -> bool:
+        """Resolved chunk-run coalescing switch (tri-state collapsed)."""
+        if self.coalesce_chunks is None:
+            return self.strided_protocol == "auto"
+        return self.coalesce_chunks
 
     @classmethod
     def default_mode(cls, **overrides) -> "ArmciConfig":

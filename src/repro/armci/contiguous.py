@@ -156,7 +156,7 @@ class _GetReplyItem(WorkItem):
 
     __slots__ = ("data", "local_addr", "event")
 
-    def __init__(self, data: bytes, local_addr: int, event) -> None:
+    def __init__(self, data, local_addr: int, event) -> None:
         self.data = data
         self.local_addr = local_addr
         self.event = event
@@ -166,7 +166,7 @@ class _GetReplyItem(WorkItem):
         return p.am_handler_time + len(self.data) * p.shm_byte_time
 
     def execute(self, ctx: PamiContext) -> None:
-        ctx.client.world.space(ctx.client.rank).write(self.local_addr, self.data)
+        ctx.client.world.space(ctx.client.rank).write_into(self.local_addr, self.data)
         self.event.succeed()
 
 
@@ -204,7 +204,7 @@ _GET_REQUEST_ID = 2
 def handle_get_request(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) -> None:
     """Target-side fall-back get: read memory, stream the data back."""
     h = env.header
-    data = rt.world.space(rt.rank).read(h["addr"], h["nbytes"])
+    data = rt.world.space(rt.rank).snapshot(h["addr"], h["nbytes"])
     timing = rt.world.network.am_payload_timing(rt.rank, env.src, h["nbytes"])
     reply_ctx: PamiContext = h["reply_ctx"]
     rt.engine.schedule(
@@ -227,7 +227,7 @@ def nbput_fallback(
     observation that put needs no fall-back *handshake*)."""
     ctx = rt.main_context
     ack = rt.engine.event(f"fbput.ack.{rt.rank}->{dst}")
-    data = rt.world.space(rt.rank).read(local_addr, nbytes)
+    data = rt.world.space(rt.rank).snapshot(local_addr, nbytes)
     header = {"addr": remote_addr, "ack": ack, "reply_ctx": ctx}
     if rt.flow_enabled:
         header["_credit"] = True
@@ -248,7 +248,7 @@ _PUT_REQUEST_ID = 3
 
 def handle_put_request(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) -> None:
     """Target-side fall-back put: write payload, ack for fences."""
-    rt.world.space(rt.rank).write(env.header["addr"], env.payload)
+    rt.world.space(rt.rank).write_into(env.header["addr"], env.payload)
     hops = rt.world.network.hops(rt.rank, env.src)
     latency = hops * rt.world.params.hop_latency
     reply_ctx: PamiContext = env.header["reply_ctx"]

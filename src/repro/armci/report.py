@@ -34,6 +34,11 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
     ("protocols", "armci.getv_pack", "vector gets (pack)"),
     ("protocols", "armci.accs", "accumulates"),
     ("protocols", "armci.rmws", "read-modify-writes"),
+    ("datapath", "armci.strided_rdma_ops", "strided RDMA ops posted"),
+    ("datapath", "armci.vector_rdma_ops", "vector RDMA ops posted"),
+    ("datapath", "armci.strided_chunks_coalesced", "strided chunks merged into runs"),
+    ("datapath", "armci.vector_segments_coalesced", "vector segments merged into runs"),
+    ("aggregation", "armci.aggregate_buffer_regrows", "staging buffer regrows"),
     ("aggregation", "armci.aggregate_staged", "fragments staged"),
     ("aggregation", "armci.aggregate_flushes", "aggregate flushes"),
     ("caches", "armci.endpoints_created", "endpoints created"),

@@ -440,6 +440,11 @@ class ArmciProcess:
         """Whether credit-based flow control is active (non-generator)."""
         return self.config.fifo_depth is not None
 
+    @property
+    def coalesce_enabled(self) -> bool:
+        """Whether chunk-run coalescing is active (non-generator)."""
+        return self.config.coalesce_effective
+
     def _op_deadline(self, timeout: float | None) -> float | None:
         """Resolve a blocking op's absolute deadline (non-generator).
 

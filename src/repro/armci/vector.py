@@ -16,10 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..errors import ArmciError
 from ..pami import faults as _flt
 from ..pami.activemsg import AmEnvelope, send_am
 from ..pami.context import CompletionItem, PamiContext, WorkItem
+from ..pami.memory import as_u8
 from ..pami.rma import rdma_get, rdma_put
 from .handles import Handle
 
@@ -68,6 +71,28 @@ class IoVector:
         hi = max(a + n for a, n in zip(self.remote_addrs, self.lengths))
         return lo, hi - lo
 
+    def coalesced_segments(self) -> list[tuple[int, int, int]]:
+        """Merge segments adjacent on *both* sides into maximal runs.
+
+        Walks segments in posting order and extends the current run when
+        the next segment starts exactly at the run's end locally *and*
+        remotely. Returns ``(local_addr, remote_addr, nbytes)`` triples;
+        a vector of back-to-back segments collapses to one RDMA.
+        """
+        runs: list[list[int]] = []
+        for laddr, raddr, length in zip(
+            self.local_addrs, self.remote_addrs, self.lengths
+        ):
+            if (
+                runs
+                and runs[-1][0] + runs[-1][2] == laddr
+                and runs[-1][1] + runs[-1][2] == raddr
+            ):
+                runs[-1][2] += length
+            else:
+                runs.append([laddr, raddr, length])
+        return [(l, r, n) for l, r, n in runs]
+
 
 def ensure_local_segments(rt: "ArmciProcess", vec: IoVector):
     """Register every distinct local segment the vector touches.
@@ -90,15 +115,32 @@ def ensure_local_segments(rt: "ArmciProcess", vec: IoVector):
     return True
 
 
+def _vector_ops(rt: "ArmciProcess", vec: IoVector) -> list[tuple[int, int, int]]:
+    """The (local, remote, nbytes) RDMA op list for one vector transfer.
+
+    Coalescing off: exactly one op per segment. On: doubly-adjacent
+    segment runs merge, recorded in ``armci.vector_segments_coalesced``.
+    """
+    if rt.coalesce_enabled:
+        runs = vec.coalesced_segments()
+        merged = vec.num_segments - len(runs)
+        if merged:
+            rt.trace.incr("armci.vector_segments_coalesced", merged)
+        return runs
+    return list(zip(vec.local_addrs, vec.remote_addrs, vec.lengths))
+
+
 def nbputv_zero_copy(
     rt: "ArmciProcess", dst: int, vec: IoVector, handle: Handle
 ) -> Handle:
-    """One non-blocking RDMA put per vector segment."""
+    """One non-blocking RDMA put per vector segment run."""
     ctx = rt.main_context
-    for laddr, raddr, length in zip(vec.local_addrs, vec.remote_addrs, vec.lengths):
+    ops = _vector_ops(rt, vec)
+    for laddr, raddr, length in ops:
         op = rdma_put(ctx, dst, laddr, raddr, length, want_remote_ack=True)
         handle.add_event(op.local_event)
         rt.track_write_ack(dst, op.remote_ack_event)
+    rt.trace.incr("armci.vector_rdma_ops", len(ops))
     rt.trace.incr("armci.putv_zero_copy")
     return handle
 
@@ -106,11 +148,13 @@ def nbputv_zero_copy(
 def nbgetv_zero_copy(
     rt: "ArmciProcess", dst: int, vec: IoVector, handle: Handle
 ) -> Handle:
-    """One non-blocking RDMA get per vector segment."""
+    """One non-blocking RDMA get per vector segment run."""
     ctx = rt.main_context
-    for laddr, raddr, length in zip(vec.local_addrs, vec.remote_addrs, vec.lengths):
+    ops = _vector_ops(rt, vec)
+    for laddr, raddr, length in ops:
         op = rdma_get(ctx, dst, raddr, laddr, length)
         handle.add_event(op.local_event)
+    rt.trace.incr("armci.vector_rdma_ops", len(ops))
     rt.trace.incr("armci.getv_zero_copy")
     return handle
 
@@ -127,7 +171,7 @@ def nbputv_typed(
     world = rt.world
     space = world.space(rt.rank)
     data = [
-        space.read(a, n) for a, n in zip(vec.local_addrs, vec.lengths)
+        space.snapshot(a, n) for a, n in zip(vec.local_addrs, vec.lengths)
     ]
     extra = vec.num_segments * world.params.typed_descriptor_time
     timing = world.network.put_timing(
@@ -152,7 +196,7 @@ def nbputv_typed(
             return
         target = world.space(dst)
         for addr, payload in zip(vec.remote_addrs, data):
-            target.write(addr, payload)
+            target.write_into(addr, payload)
 
     engine.schedule(deliver_at - now, deliver)
     if fault is not None:
@@ -186,15 +230,32 @@ def nbputv_typed(
 # ------------------------------------------------------------- fall-back
 
 
+def _gather_segments(space, addrs, lengths, total: int) -> np.ndarray:
+    """Pack segments into one private staging buffer via view-assigns."""
+    out = np.empty(total, dtype=np.uint8)
+    offset = 0
+    for addr, length in zip(addrs, lengths):
+        out[offset : offset + length] = space.view(addr, length)
+        offset += length
+    return out
+
+
+def _scatter_segments(space, addrs, lengths, data) -> None:
+    """Unpack a contiguous buffer into segments, one view-assign each."""
+    buf = as_u8(data)
+    offset = 0
+    for addr, length in zip(addrs, lengths):
+        space.write_into(addr, buf[offset : offset + length])
+        offset += length
+
+
 def nbputv_pack(
     rt: "ArmciProcess", dst: int, vec: IoVector, handle: Handle
 ) -> Handle:
     """Packed-AM vector put for unregistered targets."""
     world = rt.world
     space = world.space(rt.rank)
-    data = b"".join(
-        space.read(a, n) for a, n in zip(vec.local_addrs, vec.lengths)
-    )
+    data = _gather_segments(space, vec.local_addrs, vec.lengths, vec.total_bytes)
     ctx = rt.main_context
     ack = world.engine.event(f"putv.ack.{rt.rank}->{dst}")
     header = {
@@ -230,10 +291,7 @@ def handle_vector_put(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) -> 
     """Target side of packed vector put: scatter segments, ack."""
     h = env.header
     space = rt.world.space(rt.rank)
-    offset = 0
-    for addr, length in zip(h["addrs"], h["lengths"]):
-        space.write(addr, env.payload[offset : offset + length])
-        offset += length
+    _scatter_segments(space, h["addrs"], h["lengths"], env.payload)
     hops = rt.world.network.hops(rt.rank, env.src)
     reply_ctx: PamiContext = h["reply_ctx"]
     rt.engine.schedule(
@@ -262,10 +320,7 @@ class _VectorGetReplyItem(WorkItem):
 
     def execute(self, ctx: PamiContext) -> None:
         space = ctx.client.world.space(ctx.client.rank)
-        offset = 0
-        for addr, length in zip(self.local_addrs, self.lengths):
-            space.write(addr, self.data[offset : offset + length])
-            offset += length
+        _scatter_segments(space, self.local_addrs, self.lengths, self.data)
         self.event.succeed()
 
 
@@ -299,8 +354,8 @@ def handle_vector_get(rt: "ArmciProcess", ctx: PamiContext, env: AmEnvelope) -> 
     """Target side of packed vector get: gather and reply."""
     h = env.header
     space = rt.world.space(rt.rank)
-    data = b"".join(
-        space.read(a, n) for a, n in zip(h["remote_addrs"], h["lengths"])
+    data = _gather_segments(
+        space, h["remote_addrs"], h["lengths"], sum(h["lengths"])
     )
     pack_cost = len(data) * rt.world.params.pack_byte_time
     timing = rt.world.network.am_payload_timing(rt.rank, env.src, len(data))

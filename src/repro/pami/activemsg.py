@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
+import numpy as np
+
 from ..errors import PamiError
 from ..sim.event import Event
 from .context import CompletionItem, PamiContext, WorkItem
@@ -30,14 +32,18 @@ class AmEnvelope:
         Small out-of-band metadata (kept tiny, like a PAMI immediate
         header).
     payload:
-        Optional bulk payload bytes.
+        Optional bulk payload: ``bytes`` or a flat uint8 numpy array.
+        The hot data path passes private ndarray snapshots so handlers
+        can scatter zero-copy slices; retransmits/duplicates under chaos
+        replay the same envelope, so the payload must never alias caller
+        memory.
     """
 
     dispatch_id: int
     src: int
     dst: int
     header: dict[str, Any] = field(default_factory=dict)
-    payload: bytes | None = None
+    payload: bytes | np.ndarray | None = None
 
     @property
     def payload_bytes(self) -> int:
@@ -119,7 +125,7 @@ def send_am(
     dst_rank: int,
     dispatch_id: int,
     header: dict[str, Any] | None = None,
-    payload: bytes | None = None,
+    payload: bytes | np.ndarray | None = None,
     target_context: int | None = None,
 ) -> AmOp:
     """Post a non-blocking active message.
@@ -206,7 +212,7 @@ def send_am_immediate(
     dst_rank: int,
     dispatch_id: int,
     header: dict[str, Any] | None = None,
-    payload: bytes | None = None,
+    payload: bytes | np.ndarray | None = None,
     target_context: int | None = None,
 ) -> Generator[Any, Any, AmOp]:
     """The PAMI immediate AM variant: blocks until the send is injected.

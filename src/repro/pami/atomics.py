@@ -125,9 +125,10 @@ class _RmwRequest:
 
 def _apply(world, req: "_RmwRequest") -> int:
     """Atomically apply the op to target memory; returns the old value."""
-    space = world.space(req.dst)
-    old = space.read_i64(req.addr)
-    space.write_i64(req.addr, RMW_OPS[req.op](old, req.operand, req.operand2))
+    # One segment lookup serves both the load and the store.
+    cell = world.space(req.dst).i64_view(req.addr)
+    old = int(cell[0])
+    cell[0] = RMW_OPS[req.op](old, req.operand, req.operand2)
     return old
 
 

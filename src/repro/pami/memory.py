@@ -20,6 +20,21 @@ PAGE = 4096
 BASE_ADDRESS = 0x1000
 
 
+def as_u8(data) -> np.ndarray:
+    """View any buffer (bytes/bytearray/memoryview/ndarray) as flat uint8.
+
+    No copy is made: ndarrays are reinterpreted in place and bytes-likes
+    are wrapped read-only, so slicing the result stays zero-copy. The hot
+    data path uses this to normalize payloads without materializing
+    intermediate ``bytes``.
+    """
+    if isinstance(data, np.ndarray):
+        if data.dtype == np.uint8 and data.ndim == 1:
+            return data
+        return data.reshape(-1).view(np.uint8)
+    return np.frombuffer(data, dtype=np.uint8)
+
+
 class AddressSpace:
     """A flat per-process virtual address space.
 
@@ -50,7 +65,10 @@ class AddressSpace:
         if base not in self._segments:
             raise PamiError(f"free of unknown segment base {base:#x}")
         del self._segments[base]
-        self._bases.remove(base)
+        # _bases is sorted (allocate uses insort), so the entry can be
+        # located by bisection instead of a linear list.remove scan.
+        idx = bisect.bisect_left(self._bases, base)
+        del self._bases[idx]
 
     def _locate(self, addr: int, nbytes: int) -> tuple[np.ndarray, int]:
         """Find (segment, offset) containing [addr, addr+nbytes)."""
@@ -83,24 +101,51 @@ class AddressSpace:
         seg, offset = self._locate(addr, nbytes)
         return seg[offset : offset + nbytes]
 
+    def snapshot(self, addr: int, nbytes: int) -> np.ndarray:
+        """Private uint8 copy of ``[addr, addr+nbytes)``.
+
+        The one copy the data plane is allowed: protocols that must
+        capture data at post time (ARMCI put buffer-reuse semantics) or
+        at NIC-read time (get) snapshot here and later land the bytes
+        with a single :meth:`write_into` — no ``bytes`` round-trips.
+        """
+        return self.view(addr, nbytes).copy()
+
     def read(self, addr: int, nbytes: int) -> bytes:
         """Copy ``nbytes`` out of memory."""
         return self.view(addr, nbytes).tobytes()
 
+    def write_into(self, addr: int, data) -> None:
+        """Copy any buffer into memory at ``addr`` with exactly one copy.
+
+        ``data`` may be ``bytes``, a ``memoryview``, or a numpy array
+        (any dtype, reinterpreted as uint8); the destination view-assign
+        is the only byte movement.
+        """
+        buf = as_u8(data)
+        self.view(addr, buf.size)[:] = buf
+
     def write(self, addr: int, data: bytes | np.ndarray) -> None:
         """Copy ``data`` into memory at ``addr``."""
-        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data
-        self.view(addr, len(buf))[:] = buf
+        self.write_into(addr, data)
 
     # Convenience accessors for 64-bit counters (AMO targets).
 
+    def i64_view(self, addr: int) -> np.ndarray:
+        """Writable length-1 int64 view of the 8 bytes at ``addr``.
+
+        One segment lookup serves a whole read-modify-write cycle,
+        halving the ``_locate`` work of a read + write pair.
+        """
+        return self.view(addr, 8).view(np.int64)
+
     def read_i64(self, addr: int) -> int:
         """Read a little-endian signed 64-bit integer."""
-        return int(self.view(addr, 8).view(np.int64)[0])
+        return int(self.i64_view(addr)[0])
 
     def write_i64(self, addr: int, value: int) -> None:
         """Write a little-endian signed 64-bit integer."""
-        self.view(addr, 8).view(np.int64)[0] = value
+        self.i64_view(addr)[0] = value
 
     def read_f64(self, addr: int, count: int = 1) -> np.ndarray:
         """Read ``count`` float64 values starting at ``addr``."""

@@ -72,7 +72,9 @@ def rdma_put(
     src = ctx.client.rank
     if nbytes <= 0:
         raise PamiError(f"put size must be positive, got {nbytes}")
-    data = world.space(src).read(local_addr, nbytes)
+    # Private uint8 snapshot (capture semantics); landing it below is a
+    # single view-assign — no bytes materialization on either side.
+    data = world.space(src).snapshot(local_addr, nbytes)
     timing = world.network.put_timing(src, dst_rank, nbytes, extra_occupancy)
     engine = world.engine
     now = engine.now
@@ -93,7 +95,7 @@ def rdma_put(
     def deliver(_arg) -> None:
         if fault is not None or world.is_failed(dst_rank):
             return  # dropped: lost in transit, or at the dead NIC
-        world.space(dst_rank).write(remote_addr, data)
+        world.space(dst_rank).write_into(remote_addr, data)
 
     engine.schedule(deliver_at - now, deliver)
     if fault is not None:
@@ -151,7 +153,7 @@ def rdma_get(
     now = engine.now
 
     local_event = engine.event(f"get.local.{src}<-{dst_rank}")
-    snapshot: list[bytes] = []
+    snapshot: list = []  # one private uint8 ndarray once the NIC reads
 
     chaos = world.chaos
     deliver_at = timing.deliver
@@ -164,7 +166,7 @@ def rdma_get(
 
     def read_remote(_arg) -> None:
         if fault is None and not world.is_failed(dst_rank):
-            snapshot.append(world.space(dst_rank).read(remote_addr, nbytes))
+            snapshot.append(world.space(dst_rank).snapshot(remote_addr, nbytes))
 
     def complete(_arg) -> None:
         if not snapshot:
@@ -179,7 +181,7 @@ def rdma_get(
                 lambda _a: ctx.post(CompletionItem(local_event, token)),
             )
             return
-        world.space(src).write(local_addr, snapshot[0])
+        world.space(src).write_into(local_addr, snapshot[0])
         ctx.post(CompletionItem(local_event))
 
     # Jitter delays the whole round trip: the reply lands later too.

@@ -103,11 +103,15 @@ def _make_job(
     tracker: str,
     limit: int | None,
     chaos: ChaosConfig | None = None,
+    config_overrides: dict | None = None,
 ) -> tuple[ArmciJob, HappensBeforeOracle]:
     engine = Engine(policy=make_policy(policy, seed, limit))
+    cfg = dict(consistency_tracker=tracker)
+    if config_overrides:
+        cfg.update(config_overrides)
     job = ArmciJob(
         num_procs,
-        config=ArmciConfig(consistency_tracker=tracker),
+        config=ArmciConfig(**cfg),
         procs_per_node=2,
         chaos=chaos,
         engine=engine,
@@ -121,6 +125,7 @@ def target_strided(
     policy: str = "random",
     tracker: str = "cs_mr",
     limit: int | None = None,
+    config_overrides: dict | None = None,
 ) -> FuzzResult:
     """Strided puts to disjoint slots of a shared matrix + gets of an
     untouched structure (the dgemm access pattern, miniaturized).
@@ -181,7 +186,9 @@ def target_strided(
             )
         yield from rt.barrier()
 
-    job, oracle = _make_job(p, seed, policy, tracker, limit)
+    job, oracle = _make_job(
+        p, seed, policy, tracker, limit, config_overrides=config_overrides
+    )
     failures: list[str] = []
     try:
         job.run(body)
@@ -195,6 +202,7 @@ def target_vector(
     policy: str = "random",
     tracker: str = "cs_mr",
     limit: int | None = None,
+    config_overrides: dict | None = None,
 ) -> FuzzResult:
     """I/O-vector puts to per-rank slots + vector gets of a read-only
     structure, same disjointness discipline as the strided target."""
@@ -238,7 +246,9 @@ def target_vector(
             )
         yield from rt.barrier()
 
-    job, oracle = _make_job(p, seed, policy, tracker, limit)
+    job, oracle = _make_job(
+        p, seed, policy, tracker, limit, config_overrides=config_overrides
+    )
     failures: list[str] = []
     try:
         job.run(body)

@@ -16,8 +16,8 @@ class TestCounterLayout:
     def test_sections_are_known(self):
         sections = {s for s, _k, _l in _COUNTER_LAYOUT}
         assert sections <= {
-            "protocols", "aggregation", "caches", "synchronization",
-            "progress", "network",
+            "protocols", "datapath", "aggregation", "caches",
+            "synchronization", "progress", "network",
         }
 
 
