@@ -5,8 +5,11 @@ asynchronous-thread design cuts SCF execution time by up to 30%, with the
 time spent in load-balance counters collapsing.
 """
 
+import dataclasses
 import os
+from pathlib import Path
 
+import pytest
 from _report import save
 
 from repro.apps.nwchem import ScfConfig
@@ -73,6 +76,72 @@ def test_fig11_scf_default_vs_async_thread(benchmark):
                 "Figure 11: SCF, 6 H2O / 644 bf "
                 f"({SCF.ntasks} tasks x {SCF.iterations} iter) — paper: "
                 "AT cuts execution time up to 30%, counter time collapses"
+            ),
+        ),
+    )
+
+
+#: Span tracing multiplies per-op cost, so the --trace-out rerun uses a
+#: scaled-down-but-still-contended SCF (single shared counter, small task
+#: grain) where the D-vs-AT counter dwell contrast is unmistakable.
+TRACE_PROCS = 16
+TRACE_SCF = ScfConfig(nblocks=10, task_time=5e-4, iterations=1)
+
+
+def test_fig11_trace_export(request):
+    out_dir = request.config.getoption("--trace-out")
+    if not out_dir:
+        pytest.skip("pass --trace-out DIR to export Perfetto traces")
+
+    from repro.apps.nwchem import run_scf
+    from repro.armci import ArmciConfig, ObsConfig
+    from repro.obs.critical_path import attribution_rows, critical_path
+    from repro.obs.export import perfetto_payload, validate_trace_events, write_perfetto
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    obs_on = ObsConfig(enabled=True)
+    modes = {
+        "D": dataclasses.replace(ArmciConfig.default_mode(), obs=obs_on),
+        "AT": dataclasses.replace(ArmciConfig.async_thread_mode(), obs=obs_on),
+    }
+    counter_share = {}
+    rows = []
+    for label, config in modes.items():
+        captured = {}
+        run_scf(
+            TRACE_PROCS,
+            config,
+            TRACE_SCF,
+            label=label,
+            on_job=lambda job: captured.update(job=job),
+        )
+        obs = captured["job"].obs
+        spans, edges = obs.finished(), obs.edges
+        assert obs.truncated_spans == 0
+
+        path = out / f"fig11_trace_{label}.json"
+        write_perfetto(path, spans, edges)
+        assert validate_trace_events(perfetto_payload(spans, edges)) == []
+
+        report = critical_path(spans, edges)
+        assert report.coverage >= 0.99, (label, report.coverage)
+        counter_share[label] = report.attribution.get("counter_wait", 0.0)
+        for cat, ms, pct in attribution_rows(report, top=5):
+            rows.append([label, cat, ms, pct])
+
+    # The headline contrast the trace files visualize: the async thread
+    # collapses the initiator-side counter dwell on the critical path.
+    assert counter_share["AT"] < counter_share["D"], counter_share
+
+    save(
+        "fig11_trace",
+        render_table(
+            ["mode", "critical-path category", "time", "share"],
+            rows,
+            title=(
+                f"Fig. 11 trace export ({TRACE_PROCS} procs, "
+                f"{TRACE_SCF.ntasks} tasks) — Perfetto files in {out}"
             ),
         ),
     )

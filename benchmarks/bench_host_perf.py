@@ -198,8 +198,47 @@ def run_scf():
     return {"seconds": seconds, "ops": 1, "ops_per_sec": 1 / seconds}
 
 
+def _headline_rate(payload: dict, name: str) -> float:
+    """The comparable ops/sec of one workload (optimized path if split)."""
+    node = payload["results"][name]
+    if "optimized" in node:
+        node = node["optimized"]
+    return node["ops_per_sec"]
+
+
+def check_regression(payload: dict, max_regression: float) -> list[str]:
+    """Compare ``payload`` to the committed BENCH_host_perf.json.
+
+    Returns failure messages; empty means within budget. The comparison
+    is only meaningful like-for-like, so a committed file from the other
+    mode (smoke vs full) skips the gate rather than mis-firing.
+    """
+    if not OUTPUT.exists():
+        print("regression gate: no committed baseline, skipping")
+        return []
+    committed = json.loads(OUTPUT.read_text())
+    if committed.get("smoke") != payload["smoke"]:
+        print("regression gate: committed baseline is from the other mode, skipping")
+        return []
+    failures = []
+    floor = 1.0 - max_regression
+    for name in ("message_rate", "strided", "vector", "scf"):
+        old = _headline_rate(committed, name)
+        new = _headline_rate(payload, name)
+        if new < old * floor:
+            failures.append(
+                f"{name}: {new:.1f} ops/s is below {floor * 100:.0f}% of "
+                f"the committed {old:.1f} ops/s"
+            )
+    return failures
+
+
 def main() -> int:
-    check_coalescing = "--check-coalescing" in sys.argv[1:]
+    argv = sys.argv[1:]
+    check_coalescing = "--check-coalescing" in argv
+    max_regression = None
+    if "--max-regression" in argv:
+        max_regression = float(argv[argv.index("--max-regression") + 1])
 
     results = {
         "message_rate": run_message_rate(),
@@ -227,7 +266,13 @@ def main() -> int:
         "pre_pr_baseline": PRE_PR_BASELINE,
         "results": results,
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    # Gate before overwriting: a failing run must not replace the very
+    # baseline it failed against.
+    regressions = []
+    if max_regression is not None:
+        regressions = check_regression(payload, max_regression)
+    if not regressions:
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
     rows = [
         ["message rate", "-", f"{results['message_rate']['ops_per_sec']:.0f}", "-"],
@@ -246,8 +291,13 @@ def main() -> int:
         title=f"Host performance (wall-clock{', smoke' if SMOKE else ''})",
     )
     print(table)
-    print(f"\nwrote {OUTPUT}")
     save("host_perf", table)
+
+    if regressions:
+        for msg in regressions:
+            print(f"FAIL: {msg}")
+        return 1
+    print(f"\nwrote {OUTPUT}")
 
     if check_coalescing:
         failed = False

@@ -10,6 +10,18 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _report import all_results  # noqa: E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "Write Perfetto trace files (obs-enabled SCF reruns, default "
+            "vs async-thread) into DIR; see bench_fig11_scf.py"
+        ),
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     results = all_results()
     if not results:

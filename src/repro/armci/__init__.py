@@ -20,8 +20,9 @@ Entry point: :class:`ArmciJob` builds a simulated job;
 simulated processes).
 """
 
+from ..obs import ObsConfig
 from .config import ArmciConfig
 from .handles import Handle
 from .runtime import ArmciJob, ArmciProcess
 
-__all__ = ["ArmciConfig", "ArmciJob", "ArmciProcess", "Handle"]
+__all__ = ["ArmciConfig", "ArmciJob", "ArmciProcess", "Handle", "ObsConfig"]

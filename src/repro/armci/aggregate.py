@@ -121,6 +121,16 @@ class AggregateHandle:
             yield from h.wait()
             return h
 
-        handle = yield from rt._with_retry(attempt, "aggregate_flush")
+        sid = None
+        if rt.obs is not None:
+            sid = rt.obs.begin(
+                rt.rank, "main", "op", "aggregate_flush",
+                dst=self.dst, nbytes=total, fragments=vec.num_segments,
+            )
+        try:
+            handle = yield from rt._with_retry(attempt, "aggregate_flush")
+        finally:
+            if sid is not None:
+                rt.obs.end(sid)
         rt.trace.incr("armci.aggregate_flushes")
         return handle

@@ -167,11 +167,24 @@ def barrier(
     if deadline is None:
         deadline = rt._op_deadline(None)
     rt._observe("on_barrier_enter")
+    obs = rt.obs
+    sid = None
+    if obs is not None:
+        # The barrier span doubles as this rank's arrival record; the
+        # exit draws a wait-for edge from the last arriver's span (the
+        # only place critical_path hops ranks).
+        sid = obs.begin(rt.rank, "main", "barrier", "barrier", timeline="barrier")
+        obs.barrier_arrive(id(rt.job.hw_barrier), rt.rank, sid)
     release = rt.job.hw_barrier.arrive(rt.rank)
-    value = yield from rt.main_context.wait_with_progress(
-        release, deadline=deadline
-    )
-    check_completion(value)
+    try:
+        value = yield from rt.main_context.wait_with_progress(
+            release, deadline=deadline
+        )
+        check_completion(value)
+    finally:
+        if sid is not None:
+            obs.end(sid)
+            obs.barrier_exit(id(rt.job.hw_barrier), rt.rank, sid)
     rt._observe("on_barrier_exit")
     rt.trace.incr("armci.barriers")
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ArmciError
+from ..obs import ObsConfig
 from .consistency import is_known_tracker, known_trackers
 
 #: Built-in consistency-tracker names (Section III-E). Additional
@@ -117,6 +118,11 @@ class ArmciConfig:
         its service epoch does not advance for a full period, the async
         progress thread is declared stalled and progress duty fails over
         to a main-thread-driven loop. ``None`` = no watchdog.
+    obs:
+        :class:`~repro.obs.ObsConfig` observability switches. Disabled
+        (the default) every instrumentation site in the stack is a
+        single ``obs is None`` test; enabled, the job records causal
+        spans/metrics for Perfetto export and critical-path analysis.
     """
 
     async_thread: bool = False
@@ -132,8 +138,13 @@ class ArmciConfig:
     memregion_budget: int | None = None
     default_deadline: float | None = None
     watchdog_period: float | None = None
+    obs: ObsConfig = ObsConfig()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.obs, ObsConfig):
+            raise ArmciError(
+                f"obs must be an ObsConfig, got {type(self.obs).__name__}"
+            )
         if self.num_contexts < 1:
             raise ArmciError(f"need >= 1 context, got {self.num_contexts}")
         if not is_known_tracker(self.consistency_tracker):

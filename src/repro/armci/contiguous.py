@@ -74,18 +74,29 @@ def resolve_remote_region(
     region = rt.region_cache.lookup(dst, addr, nbytes)
     if region is not None:
         return region
-    ctx = rt.main_context
-    deadline = rt._op_deadline(None)
-    yield from rt._acquire_send_credit(dst, deadline)
-    reply = rt.engine.event(f"regionq.{rt.rank}->{dst}")
-    header = {"addr": addr, "nbytes": nbytes, "reply": reply, "reply_ctx": ctx}
-    if rt.flow_enabled:
-        header["_credit"] = True
-    op = send_am(ctx, dst, _REGION_QUERY_ID, header=header)
-    found = yield from ctx.wait_with_progress(reply, deadline=deadline)
-    from ..pami.faults import check_completion
+    obs = rt.obs
+    sid = None
+    reply = None
+    if obs is not None:
+        sid = obs.begin(rt.rank, "main", "region_miss", "region_query", dst=dst)
+    try:
+        ctx = rt.main_context
+        deadline = rt._op_deadline(None)
+        yield from rt._acquire_send_credit(dst, deadline)
+        reply = rt.engine.event(f"regionq.{rt.rank}->{dst}")
+        header = {"addr": addr, "nbytes": nbytes, "reply": reply, "reply_ctx": ctx}
+        if rt.flow_enabled:
+            header["_credit"] = True
+        op = send_am(ctx, dst, _REGION_QUERY_ID, header=header)
+        found = yield from ctx.wait_with_progress(reply, deadline=deadline)
+        from ..pami.faults import check_completion
 
-    check_completion(found)
+        check_completion(found)
+    finally:
+        if sid is not None:
+            if reply is not None:
+                obs.add_edge(obs.span_for_event(reply), sid)
+            obs.end(sid)
     if found is None:
         rt.trace.incr("armci.remote_region_unavailable")
         return None

@@ -82,6 +82,13 @@ class Handle:
         self._waited = True
         ctx = self.owner.main_context
         deadline = self.owner._op_deadline(timeout)
+        obs = self.owner.obs
+        sid = None
+        if obs is not None and self._events:
+            sid = obs.begin(
+                self.owner.rank, "main", "handle_wait",
+                f"{self.kind}.wait", ops=len(self._events),
+            )
         try:
             for ev in self._events:
                 if not ev.triggered:
@@ -89,4 +96,22 @@ class Handle:
                 # Failure tokens surface as ProcessFailedError (FT extension).
                 check_completion(ev.value)
         finally:
+            if sid is not None:
+                # Edge to each registered cause; refine the category when
+                # the causes agree (rdma_wait / am_wait read better in
+                # the critical-path attribution than the generic label).
+                cats: set = set()
+                for ev in self._events:
+                    cause = obs.span_for_event(ev)
+                    if cause is not None:
+                        obs.add_edge(cause, sid)
+                        span = obs.get(cause)
+                        if span is not None:
+                            cats.add(span.category)
+                if cats == {"rdma"}:
+                    obs.end(sid, category="rdma_wait")
+                elif cats and cats <= {"am", "am_service"}:
+                    obs.end(sid, category="am_wait")
+                else:
+                    obs.end(sid)
             self.owner.on_handle_complete(self)

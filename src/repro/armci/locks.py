@@ -100,6 +100,10 @@ def lock(rt: "ArmciProcess", mutex_id: int) -> Generator[Any, Any, None]:
     from ..pami.faults import check_completion
 
     check_completion(granted)
+    if rt.obs is not None:
+        # The grant cookie was registered to the owner-side service span;
+        # point the ambient lock_wait span (begun in runtime.lock) at it.
+        rt.obs.add_edge(rt.obs.span_for_event(grant), rt.obs.current(rt.rank))
     rt.trace.incr("armci.locks_acquired")
 
 

@@ -85,6 +85,25 @@ def runtime_report(job: "ArmciJob") -> str:
     rows.append(
         ["time", "simulated clock", f"{us(job.engine.now):.1f} us"]
     )
+    obs = job.obs
+    if obs is not None:
+        rows.append(["observability", "spans recorded", len(obs.spans)])
+        if obs.truncated_spans:
+            rows.append(
+                ["observability", "spans truncated at finalize", obs.truncated_spans]
+            )
+        from ..obs.critical_path import critical_path
+
+        report = critical_path(obs.finished(), obs.edges)
+        for category, seconds in report.top_categories(5):
+            share = 100.0 * seconds / report.window if report.window else 0.0
+            rows.append(
+                [
+                    "critical path",
+                    category,
+                    f"{us(seconds):.1f} us ({share:.1f}%)",
+                ]
+            )
     return render_table(
         ["subsystem", "metric", "value"],
         rows,

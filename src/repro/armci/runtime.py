@@ -190,6 +190,16 @@ class ArmciJob:
         self.world = world
         self.engine = world.engine
         self.trace = world.trace
+        #: Observability recorder (``repro.obs``), or ``None`` when
+        #: ``config.obs.enabled`` is off — every instrumentation site in
+        #: the stack is a single ``obs is None`` test in that case.
+        if self.config.obs.enabled and world.obs is None:
+            from ..obs import Obs
+
+            world.obs = Obs(self.engine, trace=self.trace)
+            world.obs.dispatch_names = dict(_disp.DISPATCH_NAMES)
+            world.obs.record_progress_spans = self.config.obs.progress_spans
+        self.obs = world.obs
         self.hw_barrier = _coll.HardwareBarrier(
             self.engine, num_procs, world.params.collective_barrier_latency
         )
@@ -305,7 +315,13 @@ class ArmciJob:
             # its main thread instead of letting a ghost keep computing.
             self._rank_procs.setdefault(r, []).append(proc)
             procs.append(proc)
-        return self.engine.run_until_complete(procs)
+        try:
+            return self.engine.run_until_complete(procs)
+        finally:
+            if self.obs is not None:
+                # Close anything still open (killed ranks, abandoned
+                # waits) so every exported span has an end time.
+                self.obs.finalize()
 
 
 class ArmciProcess:
@@ -340,6 +356,8 @@ class ArmciProcess:
         #: every data-movement and synchronization event on this rank.
         #: ``None`` (the default) keeps the hooks zero-cost.
         self.observer = None
+        #: Span recorder (shared job-wide), or ``None`` when obs is off.
+        self.obs = job.obs
         self.mutexes = MutexTable()
         self.notify_board = _notify.NotifyBoard()
         self.async_thread = None
@@ -428,6 +446,17 @@ class ArmciProcess:
         if obs is not None:
             getattr(obs, method)(self.rank, *args)
 
+    def _op_span(self, name: str, **kwargs) -> int | None:
+        """Open a top-level op span (non-generator; ``None`` if obs off)."""
+        if self.obs is None:
+            return None
+        return self.obs.begin(self.rank, "main", "op", name, **kwargs)
+
+    def _end_span(self, sid: int | None, **kwargs) -> None:
+        """Close an op span opened by :meth:`_op_span` (non-generator)."""
+        if sid is not None:
+            self.obs.end(sid, **kwargs)
+
     # ----------------------------------------------------------- retry
 
     @property
@@ -511,7 +540,15 @@ class ArmciProcess:
                     self.trace.incr("armci.transient_retries")
                     self.trace.incr(f"armci.transient_retries.{kind}")
                     self.trace.add_time("armci.retry_backoff_time", delay)
-                    yield Delay(delay)
+                    if self.obs is not None:
+                        sid = self.obs.begin(
+                            self.rank, "main", "backoff",
+                            f"backoff.{kind}", attempt=attempts,
+                        )
+                        yield Delay(delay)
+                        self.obs.end(sid)
+                    else:
+                        yield Delay(delay)
                     delay = min(delay * policy.multiplier, policy.max_delay)
         finally:
             self._deadline = prev_deadline
@@ -537,6 +574,11 @@ class ArmciProcess:
             return
         self.trace.incr("armci.backpressure_stalls")
         t0 = self.engine.now
+        sid = (
+            self.obs.begin(self.rank, "main", "credit_wait", "credit_wait", dst=dst)
+            if self.obs is not None
+            else None
+        )
         timer = None
         death_watch: Event | None = None
         own_ctx = self.main_context
@@ -568,6 +610,8 @@ class ArmciProcess:
                 yield WaitAny(waits)
         finally:
             cancel_timer(timer)
+            if sid is not None:
+                self.obs.end(sid)
         self.trace.add_time("armci.backpressure_time", self.engine.now - t0)
 
     # ------------------------------------------------------ bookkeeping
@@ -719,13 +763,24 @@ class ArmciProcess:
         """Blocking contiguous put (local completion); transient faults
         are retried with backoff. ``timeout`` bounds the whole call."""
         t0 = self.engine.now
+        sid = None
+        if self.obs is not None:
+            sid = self.obs.begin(
+                self.rank, "main", "op", "put",
+                dst=dst, nbytes=nbytes, timeline="put",
+            )
 
         def attempt():
             h = yield from self.nbput(dst, local_addr, remote_addr, nbytes)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "put", self._op_deadline(timeout))
-        self.trace.interval(f"r{self.rank}", "put", t0, self.engine.now)
+        try:
+            yield from self._with_retry(attempt, "put", self._op_deadline(timeout))
+        finally:
+            if sid is not None:
+                self.obs.end(sid)
+        if self.obs is None:
+            self.trace.interval(f"r{self.rank}", "put", t0, self.engine.now)
 
     def get(
         self, dst: int, local_addr: int, remote_addr: int, nbytes: int,
@@ -733,13 +788,24 @@ class ArmciProcess:
     ):
         """Blocking contiguous get; transient faults are retried."""
         t0 = self.engine.now
+        sid = None
+        if self.obs is not None:
+            sid = self.obs.begin(
+                self.rank, "main", "op", "get",
+                dst=dst, nbytes=nbytes, timeline="get",
+            )
 
         def attempt():
             h = yield from self.nbget(dst, local_addr, remote_addr, nbytes)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "get", self._op_deadline(timeout))
-        self.trace.interval(f"r{self.rank}", "get", t0, self.engine.now)
+        try:
+            yield from self._with_retry(attempt, "get", self._op_deadline(timeout))
+        finally:
+            if sid is not None:
+                self.obs.end(sid)
+        if self.obs is None:
+            self.trace.interval(f"r{self.rank}", "get", t0, self.engine.now)
 
     # --------------------------------------------------- strided RMA
 
@@ -811,24 +877,32 @@ class ArmciProcess:
         timeout: float | None = None,
     ):
         """Blocking strided put; transient faults are retried."""
+        sid = self._op_span("puts", dst=dst)
 
         def attempt():
             h = yield from self.nbputs(dst, local_base, remote_base, desc)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "puts", self._op_deadline(timeout))
+        try:
+            yield from self._with_retry(attempt, "puts", self._op_deadline(timeout))
+        finally:
+            self._end_span(sid)
 
     def gets(
         self, dst, local_base, remote_base, desc: StridedDescriptor,
         timeout: float | None = None,
     ):
         """Blocking strided get; transient faults are retried."""
+        sid = self._op_span("gets", dst=dst)
 
         def attempt():
             h = yield from self.nbgets(dst, local_base, remote_base, desc)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "gets", self._op_deadline(timeout))
+        try:
+            yield from self._with_retry(attempt, "gets", self._op_deadline(timeout))
+        finally:
+            self._end_span(sid)
 
     # ------------------------------------------------- I/O-vector RMA
 
@@ -925,21 +999,29 @@ class ArmciProcess:
 
     def putv(self, dst: int, vec: "_vec.IoVector", timeout: float | None = None):
         """Blocking I/O-vector put; transient faults are retried."""
+        sid = self._op_span("putv", dst=dst)
 
         def attempt():
             h = yield from self.nbputv(dst, vec)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "putv", self._op_deadline(timeout))
+        try:
+            yield from self._with_retry(attempt, "putv", self._op_deadline(timeout))
+        finally:
+            self._end_span(sid)
 
     def getv(self, dst: int, vec: "_vec.IoVector", timeout: float | None = None):
         """Blocking I/O-vector get; transient faults are retried."""
+        sid = self._op_span("getv", dst=dst)
 
         def attempt():
             h = yield from self.nbgetv(dst, vec)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "getv", self._op_deadline(timeout))
+        try:
+            yield from self._with_retry(attempt, "getv", self._op_deadline(timeout))
+        finally:
+            self._end_span(sid)
 
     # ------------------------------------------------------ accumulate
 
@@ -976,12 +1058,16 @@ class ArmciProcess:
         """Blocking (locally complete) accumulate; transient faults are
         retried (the lost request never reached the target, so a retry
         applies the update exactly once)."""
+        sid = self._op_span("acc", dst=dst, nbytes=nbytes)
 
         def attempt():
             h = yield from self.nbacc(dst, local_addr, remote_addr, nbytes, scale)
             yield from h.wait()
 
-        yield from self._with_retry(attempt, "acc", self._op_deadline(timeout))
+        try:
+            yield from self._with_retry(attempt, "acc", self._op_deadline(timeout))
+        finally:
+            self._end_span(sid)
 
     # ------------------------------------------------------------ AMOs
 
@@ -997,6 +1083,16 @@ class ArmciProcess:
         """
         yield from self.endpoints.get(dst, self.world.client(dst).num_contexts - 1)
         t0 = self.engine.now
+        obs = self.obs
+        sid = None
+        if obs is not None:
+            # The whole blocking call is counter dwell (the post itself
+            # is free): the paper's Fig. 9/11 "waiting on the counter"
+            # quantity, directly comparable between D and AT modes.
+            sid = obs.begin(
+                self.rank, "main", "counter_wait", "rmw",
+                dst=dst, rmw_op=op, timeline="counter",
+            )
         # NIC-AMO what-if requests bypass context queues, so they take no
         # FIFO credit.
         credited = self.flow_enabled and not self.world.nic_amo_support
@@ -1012,13 +1108,24 @@ class ArmciProcess:
                 pending.event, deadline=self._op_deadline(None)
             )
             check_completion(value)
+            if obs is not None:
+                # Why the wait ended: the target-side service span
+                # registered itself against our reply event.
+                obs.add_edge(obs.span_for_event(pending.event), sid)
             return value
 
         # Retry-safe: a transient fault means the request was lost before
         # the op was applied, so re-issuing never double-counts.
-        old = yield from self._with_retry(attempt, "rmw", self._op_deadline(timeout))
+        try:
+            old = yield from self._with_retry(
+                attempt, "rmw", self._op_deadline(timeout)
+            )
+        finally:
+            if sid is not None:
+                obs.end(sid)
         self.trace.add_time("armci.rmw_wait_time", self.engine.now - t0)
-        self.trace.interval(f"r{self.rank}", "counter", t0, self.engine.now)
+        if obs is None:
+            self.trace.interval(f"r{self.rank}", "counter", t0, self.engine.now)
         self.trace.incr("armci.rmws")
         self._observe("on_rmw", dst, addr)
         return old
@@ -1039,31 +1146,41 @@ class ArmciProcess:
     def fence(self, dst: int, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Wait until all writes to ``dst`` are remotely complete."""
         t0 = self.engine.now
+        sid = None
+        if self.obs is not None:
+            sid = self.obs.begin(
+                self.rank, "main", "fence", "fence", dst=dst, timeline="fence"
+            )
         deadline = self._op_deadline(timeout)
         acks = self._pending_acks.pop(dst, [])
         ctx = self.main_context
-        for i, ack in enumerate(acks):
-            if not ack.triggered:
-                try:
-                    yield from ctx.wait_with_progress(ack, deadline=deadline)
-                except DeadlineExceededError:
-                    # Unfenced writes stay tracked: a later fence (or a
-                    # longer deadline) can still certify them.
-                    self._pending_acks[dst] = (
-                        acks[i:] + self._pending_acks.get(dst, [])
-                    )
-                    raise
-            if isinstance(ack.value, TransientFault):
-                # A transiently-lost write already surfaced (and was
-                # retried) at its own completion wait; the fence only
-                # certifies writes that actually reached the target.
-                self.trace.incr("armci.fence_skipped_transient")
-                continue
-            check_completion(ack.value)
+        try:
+            for i, ack in enumerate(acks):
+                if not ack.triggered:
+                    try:
+                        yield from ctx.wait_with_progress(ack, deadline=deadline)
+                    except DeadlineExceededError:
+                        # Unfenced writes stay tracked: a later fence (or a
+                        # longer deadline) can still certify them.
+                        self._pending_acks[dst] = (
+                            acks[i:] + self._pending_acks.get(dst, [])
+                        )
+                        raise
+                if isinstance(ack.value, TransientFault):
+                    # A transiently-lost write already surfaced (and was
+                    # retried) at its own completion wait; the fence only
+                    # certifies writes that actually reached the target.
+                    self.trace.incr("armci.fence_skipped_transient")
+                    continue
+                check_completion(ack.value)
+        finally:
+            if sid is not None:
+                self.obs.end(sid, acks=len(acks))
         self.tracker.on_fence(dst)
         self._observe("on_fence", dst)
         self.trace.incr("armci.fences")
-        self.trace.interval(f"r{self.rank}", "fence", t0, self.engine.now)
+        if self.obs is None:
+            self.trace.interval(f"r{self.rank}", "fence", t0, self.engine.now)
 
     def fence_all(self, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Fence every destination with outstanding writes."""
@@ -1096,7 +1213,10 @@ class ArmciProcess:
         """Collective barrier (hardware network + progress while waiting)."""
         t0 = self.engine.now
         yield from _coll.barrier(self, deadline=self._op_deadline(timeout))
-        self.trace.interval(f"r{self.rank}", "barrier", t0, self.engine.now)
+        if self.obs is None:
+            # With obs on, the barrier span (collectives.py) emits the
+            # equivalent timeline interval itself.
+            self.trace.interval(f"r{self.rank}", "barrier", t0, self.engine.now)
 
     def allreduce(self, value: float, op: str = "sum") -> Generator[Any, Any, float]:
         """Collective allreduce over all ranks."""
@@ -1148,9 +1268,19 @@ class ArmciProcess:
         A transiently-lost LOCK_REQUEST is retried (the owner never saw
         the lost request, so re-sending cannot double-acquire).
         """
-        yield from self._with_retry(
-            lambda: _locks.lock(self, mutex_id), "lock", self._op_deadline(timeout)
-        )
+        sid = None
+        if self.obs is not None:
+            sid = self.obs.begin(
+                self.rank, "main", "lock_wait", "lock", mutex=mutex_id
+            )
+        try:
+            yield from self._with_retry(
+                lambda: _locks.lock(self, mutex_id), "lock",
+                self._op_deadline(timeout),
+            )
+        finally:
+            if sid is not None:
+                self.obs.end(sid)
         self._observe("on_lock", mutex_id)
 
     def unlock(self, mutex_id: int) -> Generator[Any, Any, None]:
@@ -1239,6 +1369,14 @@ class ArmciProcess:
         if seconds < 0:
             raise ArmciError(f"compute time must be >= 0, got {seconds}")
         t0 = self.engine.now
+        sid = None
+        if self.obs is not None:
+            sid = self.obs.begin(
+                self.rank, "main", "compute", "compute", timeline="compute"
+            )
         yield Delay(seconds)
+        if sid is not None:
+            self.obs.end(sid)
         self.trace.add_time("armci.compute_time", seconds)
-        self.trace.interval(f"r{self.rank}", "compute", t0, self.engine.now)
+        if self.obs is None:
+            self.trace.interval(f"r{self.rank}", "compute", t0, self.engine.now)

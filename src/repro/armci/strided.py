@@ -189,6 +189,16 @@ def nbput_strided_typed(
     handle.add_event(done)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.puts_strided_typed")
+    obs = world.obs
+    if obs is not None:
+        # The typed path times itself (no rma.py call), so it records
+        # its own wire span.
+        sid = obs.record(
+            rt.rank, "net", "rdma", "typed_put", now, timing.complete,
+            dst=dst, nbytes=total, chunks=desc.shape.num_chunks,
+        )
+        obs.register_event(done, sid)
+        obs.register_event(ack, sid)
     return handle
 
 
@@ -241,6 +251,14 @@ def nbget_strided_typed(
     engine.schedule(timing.complete + extra_latency - now, complete)
     handle.add_event(done)
     rt.trace.incr("armci.gets_strided_typed")
+    obs = world.obs
+    if obs is not None:
+        sid = obs.record(
+            rt.rank, "net", "rdma", "typed_get", now,
+            timing.complete + extra_latency,
+            dst=dst, nbytes=total, chunks=desc.shape.num_chunks,
+        )
+        obs.register_event(done, sid)
     return handle
 
 

@@ -224,6 +224,15 @@ def nbputv_typed(
     handle.add_event(done)
     rt.track_write_ack(dst, ack)
     rt.trace.incr("armci.putv_typed")
+    obs = world.obs
+    if obs is not None:
+        # Hand-rolled timing (no rma.py call): record the wire span here.
+        sid = obs.record(
+            rt.rank, "net", "rdma", "typed_putv", now, timing.complete,
+            dst=dst, nbytes=vec.total_bytes, segments=vec.num_segments,
+        )
+        obs.register_event(done, sid)
+        obs.register_event(ack, sid)
     return handle
 
 

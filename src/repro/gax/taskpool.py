@@ -47,7 +47,14 @@ class TaskPool:
         self, rt: "ArmciProcess"
     ) -> Generator[Any, Any, tuple[int, int] | None]:
         """Claim the next task range ``[lo, hi)``; ``None`` when drained."""
-        draw = yield from self.counter.next(rt)
+        sid = None
+        if rt.obs is not None:
+            sid = rt.obs.begin(rt.rank, "main", "task_draw", "taskpool.next_range")
+        try:
+            draw = yield from self.counter.next(rt)
+        finally:
+            if sid is not None:
+                rt.obs.end(sid)
         lo = draw * self.chunk
         if lo >= self.ntasks:
             return None
@@ -190,6 +197,25 @@ class DistributedTaskPool:
         drained: set[int] = state[1]
         watermarks: dict[int, int] = state[2]
         home = rt.rank % g
+        sid = None
+        result = None
+        if rt.obs is not None:
+            sid = rt.obs.begin(rt.rank, "main", "task_draw", "dtp.next_range")
+        try:
+            result = yield from self._next_range(rt, g, home, drained, watermarks)
+        finally:
+            if sid is not None:
+                rt.obs.end(sid, empty=result is None)
+        return result
+
+    def _next_range(
+        self,
+        rt: "ArmciProcess",
+        g: int,
+        home: int,
+        drained: set,
+        watermarks: dict,
+    ) -> Generator[Any, Any, tuple[int, int] | None]:
         for probe in range(g):
             shard = (home + probe) % g
             if shard in drained:

@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges, log-bucket histograms.
+
+Subsumes the ad-hoc ``Trace.samples`` lists: a :class:`Histogram` holds
+a fixed array of bucket counts instead of every observation, so memory
+is O(1) in run length. The bucket scheme is documented and fixed:
+
+    bucket *i* counts values in ``(2**(i-1), 2**i] * 1 ns``
+
+i.e. power-of-two boundaries anchored at one nanosecond, 96 buckets
+(covering ~1 ns to ~7.9e19 s), plus an underflow bucket for values
+<= 1 ns (index 0 catches them: values below the anchor land there).
+Values are simulated *seconds*; the anchor matches the simulator's
+finest meaningful timescale.
+
+Percentiles: with ``keep_raw=True`` (opt-in, for tests that assert
+exact values) ``percentile`` is exact over the retained observations;
+otherwise it returns the upper edge of the bucket containing the rank —
+a deterministic upper bound, never an interpolation that could drift
+between runs.
+
+Per-rank views: ``record``/``incr`` accept ``rank=`` and maintain both
+the job-wide aggregate and a lazily-created per-rank instrument;
+``snapshot(per_rank=True)`` includes them. Snapshots are plain dicts
+with sorted keys — safe to ``json.dumps`` deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Number of log2 buckets (fixed; part of the documented scheme).
+NUM_BUCKETS = 96
+#: Anchor of the bucket ladder: one simulated nanosecond.
+BUCKET_ANCHOR = 1e-9
+
+
+def bucket_index(value: float) -> int:
+    """O(1) bucket index for ``value`` seconds (clamped to the ladder)."""
+    if value <= BUCKET_ANCHOR:
+        return 0
+    # frexp: value/anchor = m * 2**e with m in [0.5, 1) -> ceil(log2) = e
+    m, e = math.frexp(value / BUCKET_ANCHOR)
+    idx = e if m > 0.5 else e - 1
+    return min(max(idx, 0), NUM_BUCKETS - 1)
+
+
+def bucket_upper_edge(index: int) -> float:
+    """Upper boundary (seconds) of bucket ``index``."""
+    return BUCKET_ANCHOR * (2.0**index)
+
+
+class Counter:
+    """Monotonic counter with optional per-rank breakdown."""
+
+    __slots__ = ("total", "per_rank")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.per_rank: dict[int, int] = {}
+
+    def incr(self, amount: int = 1, rank: int | None = None) -> None:
+        self.total += amount
+        if rank is not None:
+            self.per_rank[rank] = self.per_rank.get(rank, 0) + amount
+
+
+class Gauge:
+    """Last-value gauge with optional per-rank breakdown."""
+
+    __slots__ = ("value", "per_rank")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.per_rank: dict[int, float] = {}
+
+    def set(self, value: float, rank: int | None = None) -> None:
+        self.value = value
+        if rank is not None:
+            self.per_rank[rank] = value
+
+
+class Histogram:
+    """Fixed log2-bucket histogram (see module docstring for the scheme)."""
+
+    __slots__ = ("counts", "count", "total", "min", "max", "_raw", "_per_rank")
+
+    def __init__(self, keep_raw: bool = False) -> None:
+        self.counts = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._raw: list[float] | None = [] if keep_raw else None
+        self._per_rank: dict[int, "Histogram"] | None = None
+
+    @property
+    def keep_raw(self) -> bool:
+        return self._raw is not None
+
+    @property
+    def raw(self) -> list[float]:
+        """Retained observations (only with ``keep_raw=True``)."""
+        return [] if self._raw is None else list(self._raw)
+
+    def record(self, value: float, rank: int | None = None) -> None:
+        """O(1) record of one observation (simulated seconds)."""
+        self.counts[bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._raw is not None:
+            self._raw.append(value)
+        if rank is not None:
+            if self._per_rank is None:
+                self._per_rank = {}
+            sub = self._per_rank.get(rank)
+            if sub is None:
+                sub = self._per_rank[rank] = Histogram(keep_raw=self.keep_raw)
+            sub.record(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile (p in [0, 100]).
+
+        Exact over the raw observations when ``keep_raw``; otherwise the
+        upper edge of the bucket holding the rank (deterministic bound).
+        """
+        if self.count == 0:
+            return 0.0
+        if self._raw is not None:
+            data = sorted(self._raw)
+            k = max(0, min(len(data) - 1, math.ceil(p / 100.0 * len(data)) - 1))
+            return data[k]
+        target = max(1, math.ceil(p / 100.0 * self.count))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return bucket_upper_edge(i)
+        return bucket_upper_edge(NUM_BUCKETS - 1)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s aggregate observations into this histogram."""
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        if self._raw is not None and other._raw is not None:
+            self._raw.extend(other._raw)
+
+    def per_rank(self) -> dict[int, "Histogram"]:
+        """Per-rank sub-histograms (empty if ``rank=`` was never used)."""
+        return dict(self._per_rank or {})
+
+    def summary(self) -> dict:
+        """Deterministic plain-dict summary (sorted, JSON-safe)."""
+        return {
+            "count": self.count,
+            "max": self.max,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with deterministic snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str, keep_raw: bool = False) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(keep_raw=keep_raw)
+        return h
+
+    def snapshot(self, per_rank: bool = False) -> dict:
+        """Point-in-time plain-dict view, keys sorted for stable JSON."""
+        out: dict = {
+            "counters": {
+                name: c.total for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+        if per_rank:
+            out["per_rank"] = {
+                "counters": {
+                    name: {str(r): v for r, v in sorted(c.per_rank.items())}
+                    for name, c in sorted(self._counters.items())
+                    if c.per_rank
+                },
+                "histograms": {
+                    name: {
+                        str(r): h.summary()
+                        for r, h in sorted(sub.items())
+                    }
+                    for name, sub in sorted(
+                        (n, h.per_rank())
+                        for n, h in self._histograms.items()
+                    )
+                    if sub
+                },
+            }
+        return out

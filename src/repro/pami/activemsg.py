@@ -14,6 +14,7 @@ from typing import Any, Generator
 import numpy as np
 
 from ..errors import PamiError
+from ..obs.span import context_lane
 from ..sim.event import Event
 from .context import CompletionItem, PamiContext, WorkItem
 
@@ -81,7 +82,38 @@ class AmItem(WorkItem):
     def execute(self, ctx: PamiContext) -> None:
         handler = ctx.client.handler_for(self.envelope.dispatch_id)
         ctx.trace.incr("pami.am_handled")
-        handler(ctx, self.envelope)
+        obs = ctx.client.world.obs
+        if obs is None:
+            handler(ctx, self.envelope)
+            return
+        env = self.envelope
+        now = ctx.engine.now
+        # The span id rode over in the header (the reply-cookie metadata
+        # path), so the remote service span parents back to the send.
+        sid = obs.begin(
+            ctx.client.rank,
+            context_lane(ctx),
+            "am_service",
+            obs.dispatch_names.get(env.dispatch_id, f"am.{env.dispatch_id}"),
+            parent_id=env.header.get("_span"),
+            start=now - self.cost(ctx),
+            src=env.src,
+        )
+        try:
+            handler(ctx, env)
+        finally:
+            obs.end(sid)
+            # Reply cookies the handler did not resolve synchronously
+            # (acks posted back over the wire) are produced by this
+            # service: register them so handle waits can draw edges.
+            for key in ("event", "ack", "grant", "reply", "done"):
+                cookie = env.header.get(key)
+                if (
+                    isinstance(cookie, Event)
+                    and not cookie.triggered
+                    and obs.span_for_event(cookie) is None
+                ):
+                    obs.register_event(cookie, sid)
 
     def on_dropped(self, world, dead_rank: int) -> None:
         from . import faults as _flt
@@ -118,6 +150,8 @@ class AmOp:
     envelope: AmEnvelope
     local_event: Event
     deliver_time: float
+    #: Obs flight-span id (None when observability is off).
+    span_id: int | None = None
 
 
 def send_am(
@@ -204,7 +238,20 @@ def send_am(
         lambda _arg: ctx.post(CompletionItem(local_event)),
     )
     world.trace.incr("pami.am_sent")
-    return AmOp(env, local_event, deliver_at)
+    obs = world.obs
+    span_id = None
+    if obs is not None:
+        # Wire-time flight span on the net lane; the id rides in the
+        # header (same metadata path as the reply cookies — ints are
+        # invisible to the cookie scanner) so the remote service span
+        # can parent back across the rank boundary.
+        span_id = obs.record(
+            src, "net", "am", f"am.{dispatch_id}", now, deliver_at,
+            dst=dst_rank, nbytes=env.payload_bytes,
+        )
+        env.header["_span"] = span_id
+        obs.register_event(local_event, span_id)
+    return AmOp(env, local_event, deliver_at, span_id)
 
 
 def send_am_immediate(

@@ -66,7 +66,7 @@ class RmwOp:
 class RmwItem(WorkItem):
     """A software-serviced AMO waiting in the target's context queue."""
 
-    __slots__ = ("request", "reply_ctx", "posted_at", "credited")
+    __slots__ = ("request", "reply_ctx", "posted_at", "credited", "parent_span")
 
     def __init__(
         self,
@@ -74,11 +74,13 @@ class RmwItem(WorkItem):
         reply_ctx_rank: int,
         posted_at: float,
         credited: bool = False,
+        parent_span: int | None = None,
     ) -> None:
         self.request = request
         self.reply_ctx = reply_ctx_rank
         self.posted_at = posted_at
         self.credited = credited
+        self.parent_span = parent_span
 
     def cost(self, ctx: PamiContext) -> float:
         return ctx.params.rmw_service_time
@@ -89,6 +91,19 @@ class RmwItem(WorkItem):
         trace = world.trace
         trace.incr("pami.rmw_serviced")
         trace.add_time("pami.rmw_queue_wait", world.engine.now - self.posted_at)
+        obs = world.obs
+        if obs is not None:
+            from ..obs.span import context_lane
+
+            sid = obs.record(
+                ctx.client.rank, context_lane(ctx), "amo_service",
+                f"rmw.{req.op}", world.engine.now - self.cost(ctx),
+                world.engine.now, parent_id=self.parent_span,
+                src=req.src, queue_wait=world.engine.now - self.posted_at,
+            )
+            # Feed the initiator's counter_wait edge: the wait ends
+            # because this service ran (the Fig. 9/11 causality).
+            obs.register_event(req.event, sid)
         old = _apply(world, req)
         # Reply control packet back to the initiator.
         hops = world.network.hops(req.dst, req.src)
@@ -171,6 +186,10 @@ def rmw(
     arrive = world.network.packet_arrival(src, dst_rank)
     now = engine.now
     world.trace.incr("pami.rmw_posted")
+    obs = world.obs
+    # Snapshot the initiator's ambient span at post time: by the time the
+    # target services the request the initiator's stack may have moved.
+    parent_span = obs.current(src) if obs is not None else None
 
     def _return_credit() -> None:
         if credited:
@@ -199,6 +218,13 @@ def rmw(
         done = world.nic_amo_slot(dst_rank, arrive, NIC_AMO_SERVICE)
 
         def hw_service(_arg) -> None:
+            if obs is not None:
+                sid = obs.record(
+                    dst_rank, "net", "amo_service", f"nic_rmw.{req.op}",
+                    done - NIC_AMO_SERVICE, done, parent_id=parent_span,
+                    src=req.src,
+                )
+                obs.register_event(event, sid)
             old = _apply(world, req)
             hops = world.network.hops(dst_rank, src)
             engine.schedule(
@@ -223,7 +249,9 @@ def rmw(
             dst_ctx = target_client.context(target_context)
         else:
             dst_ctx = target_client.progress_context()
-        dst_ctx.post(RmwItem(req, src, engine.now, credited=credited))
+        dst_ctx.post(
+            RmwItem(req, src, engine.now, credited=credited, parent_span=parent_span)
+        )
 
     engine.schedule(arrive - now, deliver)
     return RmwOp(op, src, dst_rank, addr, event)

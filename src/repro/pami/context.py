@@ -243,6 +243,18 @@ class PamiContext:
             # Items that arrived during the batch are picked up next round.
         if serviced:
             self.progress_epoch += 1
+            obs = self.client.world.obs
+            if obs is not None and obs.record_progress_spans:
+                from ..obs.span import context_lane
+
+                # Root span (no ambient parent): the async thread's
+                # drains must not attach to whatever the main thread
+                # happens to have open.
+                obs.record(
+                    self.client.rank, context_lane(self), "progress",
+                    "drain", start, self.engine.now,
+                    parent_id=None, items=serviced,
+                )
         self.trace.incr("pami.items_serviced", serviced)
         self.busy_time += self.engine.now - start
         return serviced

@@ -127,6 +127,15 @@ def rdma_put(
 
         engine.schedule(ack_arrive - now, ack)
     world.trace.incr("pami.rdma_puts")
+    obs = world.obs
+    if obs is not None:
+        sid = obs.record(
+            src, "net", "rdma", "rdma_put", now, timing.complete,
+            dst=dst_rank, nbytes=nbytes,
+        )
+        obs.register_event(local_event, sid)
+        if remote_ack is not None:
+            obs.register_event(remote_ack, sid)
     return RmaOp("put", src, dst_rank, nbytes, local_event, remote_ack, timing)
 
 
@@ -188,4 +197,12 @@ def rdma_get(
     engine.schedule(deliver_at - now, read_remote)
     engine.schedule(timing.complete + (deliver_at - timing.deliver) - now, complete)
     world.trace.incr("pami.rdma_gets")
+    obs = world.obs
+    if obs is not None:
+        sid = obs.record(
+            src, "net", "rdma", "rdma_get", now,
+            timing.complete + (deliver_at - timing.deliver),
+            dst=dst_rank, nbytes=nbytes,
+        )
+        obs.register_event(local_event, sid)
     return RmaOp("get", src, dst_rank, nbytes, local_event, None, timing)

@@ -97,6 +97,10 @@ class PamiWorld:
         self.clients = [PamiClient(self, r) for r in range(num_procs)]
         # Injection serialization for hardware AMOs at each target NIC.
         self._nic_amo_free: dict[int, float] = {}
+        #: Observability recorder (:class:`repro.obs.Obs`); installed by
+        #: the ARMCI job when ``ObsConfig.enabled``, ``None`` otherwise —
+        #: every PAMI-layer instrumentation site is one ``is None`` test.
+        self.obs = None
         #: Ranks failed via :meth:`fail_rank` (fault-tolerance extension).
         self.failed_ranks: set[int] = set()
         #: Callbacks invoked with the rank on every :meth:`fail_rank`.

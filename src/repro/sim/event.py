@@ -27,7 +27,14 @@ class Event:
         Optional label used in error messages and traces.
     """
 
-    __slots__ = ("engine", "name", "_value", "_triggered", "_callbacks")
+    __slots__ = (
+        "engine",
+        "name",
+        "_value",
+        "_triggered",
+        "_callbacks",
+        "_obs_span",
+    )
 
     def __init__(self, engine: "Engine", name: str = "") -> None:
         self.engine = engine
@@ -35,6 +42,10 @@ class Event:
         self._value: Any = None
         self._triggered = False
         self._callbacks: list[Callable[[Any], None]] = []
+        #: Obs span id registered as this event's cause (kept on the event
+        #: itself: an id()-keyed side table would alias once the allocator
+        #: reuses a collected event's address, breaking byte-stable exports).
+        self._obs_span: int | None = None
 
     @property
     def triggered(self) -> bool:

@@ -27,11 +27,18 @@ class Trace:
 
     counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     durations: dict[str, float] = field(default_factory=lambda: defaultdict(float))
-    samples: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    #: Per-series sample histograms (:class:`repro.obs.metrics.Histogram`,
+    #: fixed log2 buckets anchored at 1 ns — O(1) memory per series,
+    #: unlike the raw lists this replaced).
+    histograms: dict = field(default_factory=dict)
     #: Optional per-lane activity intervals (enable via record_intervals).
     intervals: list[Interval] = field(default_factory=list)
     #: Interval recording is opt-in: at scale it would dominate memory.
     record_intervals: bool = False
+    #: Retain every raw observation alongside the buckets (opt-in: this
+    #: restores the unbounded-growth behaviour; tests asserting exact
+    #: values and exact-percentile readers enable it).
+    keep_raw_samples: bool = False
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name``."""
@@ -42,8 +49,32 @@ class Trace:
         self.durations[name] += seconds
 
     def sample(self, name: str, value: float) -> None:
-        """Append one observation to sample series ``name``."""
-        self.samples[name].append(value)
+        """Record one observation into sample series ``name``.
+
+        Observations land in a fixed-bucket log-scale histogram; the raw
+        value is retained only under ``keep_raw_samples``.
+        """
+        h = self.histograms.get(name)
+        if h is None:
+            from ..obs.metrics import Histogram
+
+            h = self.histograms[name] = Histogram(keep_raw=self.keep_raw_samples)
+        h.record(value)
+
+    @property
+    def samples(self) -> dict[str, list[float]]:
+        """Raw observations per series (empty unless ``keep_raw_samples``)."""
+        return {
+            name: h.raw
+            for name, h in self.histograms.items()
+            if h.keep_raw and h.count
+        }
+
+    def sample_summary(self, name: str) -> dict:
+        """Deterministic summary (count/mean/min/max/p50/p95/p99) of a
+        series; empty dict if the series was never sampled."""
+        h = self.histograms.get(name)
+        return h.summary() if h is not None else {}
 
     def count(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -66,5 +97,5 @@ class Trace:
         """Reset all counters, durations, samples, and intervals."""
         self.counters.clear()
         self.durations.clear()
-        self.samples.clear()
+        self.histograms.clear()
         self.intervals.clear()

@@ -37,7 +37,7 @@ def render_timeline(
     """
     items = sorted(intervals, key=lambda iv: (iv.lane, iv.start))
     if not items:
-        raise ValueError("no intervals to render")
+        return "(no intervals recorded)"
     lo = t0 if t0 is not None else min(iv.start for iv in items)
     hi = t1 if t1 is not None else max(iv.end for iv in items)
     span = hi - lo

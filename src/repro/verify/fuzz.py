@@ -52,6 +52,9 @@ class FuzzResult:
     decisions: int  # scheduling decisions the policy perturbed
     counters: dict[str, int]
     oracle: HappensBeforeOracle | None
+    #: The job's :class:`~repro.obs.span.Obs` sink when the run was fuzzed
+    #: with observability enabled (``config_overrides={"obs": ...}``).
+    obs: object | None = None
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -79,6 +82,7 @@ def _finish(
     oracle: HappensBeforeOracle,
     trace,
     failures: list[str],
+    obs=None,
 ) -> FuzzResult:
     failures = list(failures)
     for v in oracle.report.violations:
@@ -92,6 +96,7 @@ def _finish(
         decisions=getattr(policy, "_issued", 0),
         counters=trace.snapshot(),
         oracle=oracle,
+        obs=obs,
         failures=failures,
     )
 
@@ -194,7 +199,9 @@ def target_strided(
         job.run(body)
     except (ReproError, AssertionError) as exc:
         failures.append(f"run:{type(exc).__name__}: {exc}")
-    return _finish("strided", seed, job.engine, oracle, job.trace, failures)
+    return _finish(
+        "strided", seed, job.engine, oracle, job.trace, failures, obs=job.obs
+    )
 
 
 def target_vector(
@@ -254,7 +261,9 @@ def target_vector(
         job.run(body)
     except (ReproError, AssertionError) as exc:
         failures.append(f"run:{type(exc).__name__}: {exc}")
-    return _finish("vector", seed, job.engine, oracle, job.trace, failures)
+    return _finish(
+        "vector", seed, job.engine, oracle, job.trace, failures, obs=job.obs
+    )
 
 
 def target_lock(
@@ -366,6 +375,7 @@ def target_scf(
     policy: str = "random",
     tracker: str = "cs_mr",
     limit: int | None = None,
+    config_overrides: dict | None = None,
 ) -> FuzzResult:
     """Miniature NWChem-SCF proxy under the async-thread configuration.
 
@@ -389,7 +399,9 @@ def target_scf(
     try:
         result = run_scf(
             p,
-            ArmciConfig.async_thread_mode(consistency_tracker=tracker),
+            ArmciConfig.async_thread_mode(
+                consistency_tracker=tracker, **(config_overrides or {})
+            ),
             scf_config=scf,
             procs_per_node=2,
             engine=engine,
@@ -406,7 +418,8 @@ def target_scf(
     oracle = holder.get("oracle")
     if oracle is None:  # init itself failed
         oracle = HappensBeforeOracle(p)
-    trace = holder["job"].trace if "job" in holder else None
+    job = holder.get("job")
+    trace = job.trace if job is not None else None
 
     class _EmptyTrace:
         @staticmethod
@@ -414,7 +427,8 @@ def target_scf(
             return {}
 
     return _finish(
-        "scf", seed, engine, oracle, trace or _EmptyTrace, failures
+        "scf", seed, engine, oracle, trace or _EmptyTrace, failures,
+        obs=job.obs if job is not None else None,
     )
 
 

@@ -1,0 +1,110 @@
+"""Span-tree well-formedness under schedule fuzzing.
+
+Every explored schedule must yield a clean span DAG: all spans close,
+parents start no later than their children (including across the async
+AM handoff, where the parent is the sender's flight span), every edge
+joins recorded spans, and the target-side ``am_service`` spans agree
+with the :class:`~repro.verify.oracle.HappensBeforeOracle`'s independent
+service log — the obs subsystem and the oracle watch the same traffic
+through different instrumentation, so a disagreement means one of them
+dropped or invented a service.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.armci import ObsConfig
+from repro.verify import target_scf, target_strided, target_vector
+
+SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "5"))
+
+#: Fuzz with tracing on: the obs hot paths ride every perturbed schedule.
+OBS_ON = {"obs": ObsConfig(enabled=True)}
+
+TARGETS = {
+    "scf": target_scf,
+    "strided": target_strided,
+    "vector": target_vector,
+}
+
+_EPS = 1e-12
+
+
+def _check_wellformed(result):
+    """Assert the run was clean and its span DAG well-formed; return spans."""
+    assert not result.failures, result.failures[:3]
+    obs = result.obs
+    assert obs is not None, "fuzz target did not expose the obs sink"
+    assert obs.truncated_spans == 0
+    spans = obs.spans
+    assert spans, "tracing was enabled but no spans were recorded"
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        assert s.end is not None, f"span {s.span_id} ({s.name}) never closed"
+        assert s.end >= s.start - _EPS, (s.name, s.start, s.end)
+        if s.parent_id is not None:
+            parent = by_id.get(s.parent_id)
+            assert parent is not None, (
+                f"span {s.span_id} ({s.name}) has unknown parent {s.parent_id}"
+            )
+            assert parent.start <= s.start + _EPS, (
+                f"parent {parent.name} starts after child {s.name}"
+            )
+    for cause_id, waiter_id in obs.edges:
+        assert cause_id in by_id, f"edge cause {cause_id} is not a span"
+        assert waiter_id in by_id, f"edge waiter {waiter_id} is not a span"
+    return spans
+
+
+@pytest.mark.parametrize("name", sorted(TARGETS))
+def test_span_tree_wellformed(name):
+    for seed in range(SEEDS):
+        result = TARGETS[name](seed, config_overrides=OBS_ON)
+        _check_wellformed(result)
+
+
+@pytest.mark.parametrize("name", sorted(TARGETS))
+def test_cross_rank_am_parents(name):
+    """A serviced AM's parent is the *sender's* flight span: the causal
+    link survives the header/cookie handoff on every schedule."""
+    for seed in range(SEEDS):
+        result = TARGETS[name](seed, config_overrides=OBS_ON)
+        spans = _check_wellformed(result)
+        by_id = {s.span_id: s for s in spans}
+        linked = 0
+        for s in spans:
+            if s.category != "am_service" or s.parent_id is None:
+                continue
+            parent = by_id[s.parent_id]
+            assert parent.category == "am", (s.name, parent.category)
+            assert parent.rank == s.attrs["src"], (
+                f"{s.name}: flight span on rank {parent.rank}, "
+                f"but the AM came from rank {s.attrs['src']}"
+            )
+            linked += 1
+        assert linked > 0, "no cross-rank AM parent links were recorded"
+
+
+def test_am_service_spans_agree_with_oracle():
+    """Per (serving rank, source) counts from the obs ``am_service``
+    spans cover the oracle's independently-recorded service log."""
+    for seed in range(SEEDS):
+        result = target_scf(seed, config_overrides=OBS_ON)
+        spans = _check_wellformed(result)
+        serviced = Counter(
+            (s.rank, s.attrs.get("src"))
+            for s in spans
+            if s.category == "am_service"
+        )
+        logged = Counter(
+            (rank, src)
+            for rank, _name, src in result.oracle.report.service_log
+        )
+        assert logged, "oracle saw no AM services in the SCF target"
+        missing = logged - serviced
+        assert not missing, (
+            f"oracle logged services with no am_service span: "
+            f"{dict(missing)}"
+        )

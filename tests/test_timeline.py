@@ -41,9 +41,10 @@ class TestRenderTimeline:
         assert "c" in lines[1] and "|" in lines[1]
         assert ".=idle" in lines[-1]
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            render_timeline([])
+    def test_empty_renders_placeholder(self):
+        # An empty interval list is a normal state (intervals are opt-in),
+        # not a caller error.
+        assert render_timeline([]) == "(no intervals recorded)"
 
     def test_zero_span_rejected(self):
         with pytest.raises(ValueError):
