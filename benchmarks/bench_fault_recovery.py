@@ -17,17 +17,25 @@ production runtime:
   memory-region budget shrink? (The resource-resilience layer's
   saturation sweep: backpressure should throttle, not deadlock, and a
   starved registration budget should shift traffic to Eq. 8.)
+- **Full recovery (MTTR)**: with buddy replication and coordinated
+  checkpoints on (:mod:`repro.recover`), how long from a rank's death
+  to the job resuming — and how many bytes does each epoch replicate
+  vs. how many a recovery re-replicates? Emits a JSON artifact next to
+  the rendered table.
 
 Set ``REPRO_BENCH_SMOKE=1`` to run a reduced sweep (CI smoke mode).
 """
 
+import json
 import os
 
-from _report import save
+from _report import RESULTS_DIR, save
 
 from repro.armci import ArmciConfig, ArmciJob
+from repro.armci.config import RetryPolicy
 from repro.chaos import ChaosConfig, FaultPlan
 from repro.errors import ProcessFailedError
+from repro.recover import RecoveryConfig
 from repro.util import render_table, us
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -182,6 +190,127 @@ def test_crash_recovery_time(benchmark):
             title=(
                 "Crash recovery: mid-barrier detection at 7 survivors "
                 "(8 procs) and sharded-pool counter failover (4 procs)"
+            ),
+        ),
+    )
+
+
+# ------------------------------------------- full recovery (MTTR)
+
+
+RECOVERY_KB = (4,) if SMOKE else (4, 16, 64)
+RECOVERY_EPOCHS = 3 if SMOKE else 4
+RECOVERY_PROCS = 4
+
+
+def _recovery_job(protected_kb, fault_plan=None):
+    cfg = ArmciConfig.async_thread_mode(
+        retry=RetryPolicy(),
+        default_deadline=2.0,
+        recovery=RecoveryConfig(enabled=True, chunk_bytes=256),
+    )
+    job = ArmciJob(
+        RECOVERY_PROCS, config=cfg, procs_per_node=1, fault_plan=fault_plan,
+    )
+    job.init()
+    nbytes = protected_kb * 1024
+
+    def setup(rt):
+        alloc = yield from rt.malloc(nbytes)
+        yield from rt.job.recovery.protect(rt, alloc)
+        rt.world.space(rt.rank).view(alloc.addr(rt.rank), nbytes)[:] = rt.rank
+        return alloc, {"sum": 0.0}
+
+    def epoch_fn(rt, alloc, state, epoch):
+        # Dirty a quarter of the protected region, then one remote
+        # touch so the epoch exercises the data plane too.
+        space = rt.world.space(rt.rank)
+        lo = (epoch % 4) * (nbytes // 4)
+        space.view(alloc.addr(rt.rank) + lo, nbytes // 4)[:] = epoch + 1
+        dst = (rt.rank + 1) % RECOVERY_PROCS
+        scratch = space.allocate(256)
+        yield from rt.put(dst, scratch, alloc.addr(dst) + lo, 256)
+        yield from rt.fence(dst)
+        state["sum"] += float(epoch)
+
+    return job, setup, epoch_fn
+
+
+def test_recovery_mttr(benchmark):
+    """Crash mid-epoch with replication on: MTTR and replication bytes."""
+
+    def run():
+        out = {}
+        for kb in RECOVERY_KB:
+            # Clean run measures the epoch window so the crash in the
+            # crashy run lands mid-epoch (the simulator is deterministic,
+            # so both runs share the same prefix up to the crash).
+            job, setup, epoch_fn = _recovery_job(kb)
+            t0 = job.engine.now
+            job.recovery.run(setup, epoch_fn, epochs=RECOVERY_EPOCHS)
+            window = job.engine.now - t0
+            clean_bytes = job.trace.count("recover.bytes_replicated")
+
+            crash_at = 0.75 * window
+            plan = FaultPlan().crash(1, at=crash_at)
+            job2, setup2, epoch_fn2 = _recovery_job(kb, fault_plan=plan)
+            t0 = job2.engine.now
+            job2.recovery.run(setup2, epoch_fn2, epochs=RECOVERY_EPOCHS)
+            out[kb] = {
+                "clean_window_s": window,
+                "crashy_window_s": job2.engine.now - t0,
+                "bytes_replicated_clean": clean_bytes,
+                "bytes_replicated": job2.trace.count("recover.bytes_replicated"),
+                "bytes_rereplicated": job2.trace.count(
+                    "recover.bytes_rereplicated"
+                ),
+                "bytes_restored": job2.trace.count("recover.bytes_restored"),
+                "recoveries": job2.trace.count("recover.recoveries_completed"),
+                "epochs_replayed": job2.trace.count("recover.epochs_replayed"),
+                "mttr_s": job2.trace.time("recover.mttr"),
+            }
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for kb, m in out.items():
+        assert m["recoveries"] >= 1, f"{kb} KB run never recovered"
+        # Incremental checkpoints: replication traffic must not balloon
+        # past one full image per epoch per rank.
+        assert m["bytes_replicated_clean"] < (
+            RECOVERY_PROCS * (RECOVERY_EPOCHS + 1) * kb * 1024 * 1.5
+        )
+        mttr = m["mttr_s"] / m["recoveries"]
+        rows.append([
+            kb,
+            f"{us(mttr):.1f}",
+            m["bytes_replicated"],
+            m["bytes_rereplicated"],
+            m["bytes_restored"],
+            m["epochs_replayed"],
+            f"{m['crashy_window_s'] / m['clean_window_s']:.2f}x",
+        ])
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fault_recovery_mttr.json").write_text(
+        json.dumps(
+            {str(kb): m for kb, m in out.items()},
+            indent=2, sort_keys=True,
+        )
+        + "\n"
+    )
+    save(
+        "fault_recovery_mttr",
+        render_table(
+            ["protected KB/rank", "MTTR (us)", "bytes replicated",
+             "bytes re-replicated", "bytes restored", "epochs replayed",
+             "slowdown"],
+            rows,
+            title=(
+                f"Crash recovery MTTR: {RECOVERY_PROCS} procs, "
+                f"{RECOVERY_EPOCHS} epochs, 1 mid-epoch crash, buddy "
+                "replication + coordinated checkpoints"
             ),
         ),
     )

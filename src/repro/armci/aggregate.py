@@ -86,6 +86,17 @@ class AggregateHandle:
         self._staged.append((remote_addr, data))
         self.owner.trace.incr("armci.aggregate_staged")
 
+    def flush_if_pending(self) -> Generator[Any, Any, Handle | None]:
+        """Flush when fragments are staged; no-op (``None``) otherwise.
+
+        The replication shipper uses this: an epoch with no dirty chunks
+        toward one buddy must not pay (or crash on) an empty flush.
+        """
+        if not self._staged:
+            self._flushed = True
+            return None
+        return (yield from self.flush())
+
     def flush(self) -> Generator[Any, Any, Handle]:
         """Ship all staged fragments as one combined vector put.
 

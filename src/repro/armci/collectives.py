@@ -53,16 +53,46 @@ class HardwareBarrier:
         self._event: Event | None = None
         self.rounds_completed = 0
         self.rounds_broken = 0
+        #: Currently-dead participants (empty = barrier healthy).
+        self._failed: set[int] = set()
         #: First dead participant (None = barrier healthy).
         self._broken_by: int | None = None
 
     def note_rank_failure(self, rank: int) -> None:
         """A participant died: break the current and all future rounds."""
+        self._failed.add(rank)
         if self._broken_by is None:
             self._broken_by = rank
         event = self._event
         if event is not None and self._arrived:
             self._fail_round(event, rank)
+
+    def note_rank_recovered(self, rank: int) -> None:
+        """A dead participant was respawned: future rounds can complete
+        again once every dead participant has recovered. No-op for ranks
+        that never failed, so healthy paths are unaffected."""
+        self._failed.discard(rank)
+        self._broken_by = min(self._failed) if self._failed else None
+
+    def remove_participant(self, rank: int) -> None:
+        """Shrink the barrier group: ``rank`` stops participating
+        (group-shrink recovery). The current round releases if the dead
+        rank was the only missing arrival."""
+        if self.num_procs <= 1:
+            raise ArmciError("cannot shrink barrier below one participant")
+        self.num_procs -= 1
+        self.note_rank_recovered(rank)
+        self._arrived.discard(rank)
+        event = self._event
+        if (
+            event is not None
+            and self._broken_by is None
+            and len(self._arrived) == self.num_procs
+        ):
+            self._arrived.clear()
+            self._event = None
+            self.rounds_completed += 1
+            self.engine.schedule(self.latency, lambda _a: event.succeed())
 
     def _fail_round(self, event: Event, dead_rank: int) -> None:
         self.rounds_broken += 1
@@ -141,6 +171,10 @@ class FailureDetector:
             lambda _a: None if event.triggered else event.succeed(token),
         )
 
+    def note_rank_recovered(self, rank: int) -> None:
+        """Stop failing new watches that name a respawned rank."""
+        self._dead.discard(rank)
+
     def note_rank_failure(self, rank: int) -> None:
         self._dead.add(rank)
         keep: list[tuple[Event, frozenset[int]]] = []
@@ -180,7 +214,7 @@ def barrier(
         value = yield from rt.main_context.wait_with_progress(
             release, deadline=deadline
         )
-        check_completion(value)
+        check_completion(value, op="barrier")
     finally:
         if sid is not None:
             obs.end(sid)
@@ -203,6 +237,20 @@ class ReductionBoard:
         self._rounds: dict[int, dict[int, float]] = {}
         self._collected: dict[int, int] = {}
         self._rank_round: dict[int, int] = {}
+
+    def reset(self, num_procs: int | None = None) -> None:
+        """Discard every in-flight round and resynchronize round ids.
+
+        Crash recovery calls this at the rollback point: aborted rounds
+        must not satisfy post-recovery deposits (survivors and a
+        respawned rank could otherwise disagree on round ids and merge a
+        replayed reduction with a pre-crash one). Idempotent.
+        """
+        self._rounds.clear()
+        self._collected.clear()
+        self._rank_round.clear()
+        if num_procs is not None:
+            self.num_procs = num_procs
 
     def deposit(self, rank: int, value: float) -> int:
         """Deposit for this rank's next round; returns the round id."""

@@ -123,6 +123,11 @@ class ArmciConfig:
         (the default) every instrumentation site in the stack is a
         single ``obs is None`` test; enabled, the job records causal
         spans/metrics for Perfetto export and critical-path analysis.
+    recovery:
+        :class:`~repro.recover.RecoveryConfig` crash-recovery switches
+        (buddy replication, coordinated checkpoint/restore, respawn).
+        ``None`` (the default) or a disabled config keeps every recovery
+        code path dormant — paper figures are byte-identical.
     """
 
     async_thread: bool = False
@@ -139,12 +144,21 @@ class ArmciConfig:
     default_deadline: float | None = None
     watchdog_period: float | None = None
     obs: ObsConfig = ObsConfig()
+    recovery: object | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.obs, ObsConfig):
             raise ArmciError(
                 f"obs must be an ObsConfig, got {type(self.obs).__name__}"
             )
+        if self.recovery is not None:
+            from ..recover.config import RecoveryConfig
+
+            if not isinstance(self.recovery, RecoveryConfig):
+                raise ArmciError(
+                    f"recovery must be a RecoveryConfig or None, got "
+                    f"{type(self.recovery).__name__}"
+                )
         if self.num_contexts < 1:
             raise ArmciError(f"need >= 1 context, got {self.num_contexts}")
         if not is_known_tracker(self.consistency_tracker):

@@ -91,7 +91,7 @@ def resolve_remote_region(
         found = yield from ctx.wait_with_progress(reply, deadline=deadline)
         from ..pami.faults import check_completion
 
-        check_completion(found)
+        check_completion(found, op="region_query")
     finally:
         if sid is not None:
             if reply is not None:

@@ -112,7 +112,7 @@ def _await_messages(
         if peers:
             rt.job.failure_detector.watch(event, peers)
         value = yield from rt.main_context.wait_with_progress(event)
-        check_completion(value)
+        check_completion(value, op="group")
     return state.inbox.pop(key)
 
 

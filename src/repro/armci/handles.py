@@ -94,7 +94,7 @@ class Handle:
                 if not ev.triggered:
                     yield from ctx.wait_with_progress(ev, deadline=deadline)
                 # Failure tokens surface as ProcessFailedError (FT extension).
-                check_completion(ev.value)
+                check_completion(ev.value, op=self.kind)
         finally:
             if sid is not None:
                 # Edge to each registered cause; refine the category when

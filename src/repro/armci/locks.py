@@ -99,7 +99,7 @@ def lock(rt: "ArmciProcess", mutex_id: int) -> Generator[Any, Any, None]:
     granted = yield from ctx.wait_with_progress(grant, deadline=deadline)
     from ..pami.faults import check_completion
 
-    check_completion(granted)
+    check_completion(granted, op="lock")
     if rt.obs is not None:
         # The grant cookie was registered to the owner-side service span;
         # point the ambient lock_wait span (begun in runtime.lock) at it.

@@ -178,6 +178,18 @@ class RegionCache:
             if self.budget_registry is not None:
                 self.budget_registry.release()
 
+    def invalidate_rank(self, owner: int) -> None:
+        """Drop every cached handle owned by ``owner`` (non-generator).
+
+        Crash recovery: a respawned rank's old registrations are gone, so
+        every handle pointing at its previous incarnation is poison.
+        """
+        regions = self._by_owner.get(owner)
+        if not regions:
+            return
+        for base in list(regions):
+            self.invalidate(owner, base)
+
     def frequency(self, owner: int, base: int) -> int:
         """Access count of a cached entry (0 if absent)."""
         return self._freq.get((owner, base), 0)

@@ -52,6 +52,19 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
     ("synchronization", "armci.barriers", "barriers"),
     ("synchronization", "armci.locks_acquired", "mutex acquisitions"),
     ("synchronization", "armci.notifies_sent", "notifications sent"),
+    ("resilience", "armci.transient_retries", "transient faults retried"),
+    ("resilience", "armci.retry_successes", "retries that succeeded"),
+    ("resilience", "recover.failures_detected", "rank failures detected"),
+    ("resilience", "pami.ranks_respawned", "ranks respawned"),
+    ("resilience", "pami.stale_deliveries_dropped", "stale deliveries dropped"),
+    ("resilience", "recover.regions_protected", "regions protected"),
+    ("resilience", "recover.epochs_committed", "checkpoint epochs committed"),
+    ("resilience", "recover.bytes_replicated", "bytes replicated"),
+    ("resilience", "recover.recoveries_completed", "recoveries completed"),
+    ("resilience", "recover.epochs_replayed", "epochs replayed"),
+    ("resilience", "recover.bytes_restored", "bytes restored"),
+    ("resilience", "recover.bytes_rereplicated", "bytes re-replicated"),
+    ("resilience", "gax.pool_shards_failed_over", "task-pool shards failed over"),
     ("progress", "pami.items_serviced", "progress items serviced"),
     ("progress", "armci.async_thread_serviced", "items by async threads"),
     ("progress", "pami.rmw_serviced", "AMOs serviced"),
@@ -82,6 +95,11 @@ def runtime_report(job: "ArmciJob") -> str:
     rows.append(
         ["time", "compute (all ranks)", f"{us(trace.time('armci.compute_time')):.1f} us"]
     )
+    if trace.count("recover.recoveries_completed"):
+        mttr = trace.time("recover.mttr") / trace.count(
+            "recover.recoveries_completed"
+        )
+        rows.append(["time", "mean time to recovery", f"{us(mttr):.1f} us"])
     rows.append(
         ["time", "simulated clock", f"{us(job.engine.now):.1f} us"]
     )

@@ -210,6 +210,16 @@ class ArmciJob:
         self._rank_procs: dict[int, list] = {}
         self._initialized = False
         world.on_rank_failed(self._on_rank_failed)
+        #: Crash-recovery manager (``repro.recover``), or ``None`` when
+        #: ``config.recovery`` is unset/disabled — the default, which
+        #: keeps every paper-figure code path untouched. Constructed
+        #: after the job's own failure listener so collectives break
+        #: before recovery logic observes the death.
+        self.recovery = None
+        if self.config.recovery is not None and self.config.recovery.enabled:
+            from ..recover.manager import RecoveryManager
+
+            self.recovery = RecoveryManager(self, self.config.recovery)
 
     @property
     def num_procs(self) -> int:
@@ -236,6 +246,32 @@ class ArmciJob:
         rt = self.processes[rank]
         if rt.async_thread is not None:
             rt.async_thread.kill()
+        if rt.watchdog is not None:
+            rt.watchdog.kill()
+
+    def respawn_rank(self, rank: int) -> None:
+        """Bring a failed rank back as a fresh incarnation (non-generator).
+
+        The PAMI world replaces the rank's address space, region table,
+        and client; the rank's :class:`ArmciProcess` is reset to its
+        pre-init state, and the collectives machinery is told the rank
+        recovered so future rounds can complete. The caller (normally
+        the recovery manager) must then run :meth:`ArmciProcess._reinit_body`
+        inside the simulation to recreate contexts and handlers.
+        """
+        self.world.respawn_rank(rank)
+        self.hw_barrier.note_rank_recovered(rank)
+        self.failure_detector.note_rank_recovered(rank)
+        self.processes[rank].reset_for_respawn()
+
+    def shrink_rank(self, rank: int) -> None:
+        """Permanently exclude a dead rank from collectives (non-generator).
+
+        Group-shrink recovery: survivors continue with one fewer
+        participant. The dead rank's memory stays lost; only the
+        collective machinery shrinks.
+        """
+        self.hw_barrier.remove_participant(rank)
 
     def _apply_resource_fault(self, fault) -> None:
         """Inject one scheduled :class:`~repro.chaos.ResourceFault`.
@@ -370,6 +406,10 @@ class ArmciProcess:
         self._pending_acks: dict[int, list[Event]] = {}
         self._implicit_handles: set[Handle] = set()
         self._next_alloc_id = 0
+        #: Replay mode (crash recovery): collective setup calls are
+        #: replayed locally — malloc re-maps recorded addresses and
+        #: barriers no-op, since the survivors are not re-entering them.
+        self._replay_mode = False
 
     # ------------------------------------------------------------- setup
 
@@ -387,6 +427,77 @@ class ArmciProcess:
             if self.config.watchdog_period is not None:
                 start_watchdog(self)
         yield from _coll.barrier(self)
+
+    def reset_for_respawn(self) -> None:
+        """Reset per-rank runtime state to pre-init (non-generator).
+
+        Called by :meth:`ArmciJob.respawn_rank` after the PAMI world
+        replaced this rank's client: every cached reference into the dead
+        incarnation is dropped. :meth:`_reinit_body` must run inside the
+        simulation afterwards to recreate contexts and handlers.
+        """
+        params = self.world.params
+        self.client = self.world.client(self.rank)
+        self.endpoints = EndpointCache(
+            self.rank, params.endpoint_create_time, self.trace
+        )
+        budget_registry = (
+            self.world.regions[self.rank]
+            if self.config.memregion_budget is not None
+            else None
+        )
+        self.region_cache = RegionCache(
+            self.config.region_cache_capacity,
+            self.trace,
+            budget_registry=budget_registry,
+        )
+        self.tracker = make_tracker(self.config.consistency_tracker)
+        self.mutexes = MutexTable()
+        self.notify_board = _notify.NotifyBoard()
+        self.async_thread = None
+        self.watchdog = None
+        self.progress_failed_over = False
+        self._deadline = None
+        self._pending_acks = {}
+        self._implicit_handles = set()
+        self._next_alloc_id = 0
+        self._replay_mode = False
+        # Cached lazily-allocated staging state points into the dead
+        # incarnation's address space.
+        for attr in ("_agg_buffer", "_gax_scratch", "_dtp_state"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+
+    def _reinit_body(self) -> Generator[Any, Any, None]:
+        """Re-initialize a respawned rank inside the simulation.
+
+        Same as :meth:`_init_body` minus the trailing collective barrier
+        (the survivors are not re-entering init; the recovery rendezvous
+        synchronizes instead).
+        """
+        for _ in range(self.config.num_contexts):
+            yield from self.client.create_context(capacity=self.config.fifo_depth)
+        self._register_handlers()
+        if self.config.async_thread:
+            start_async_thread(self)
+            if self.config.watchdog_period is not None:
+                start_watchdog(self)
+
+    def reset_peer_state(self, dead_ranks) -> None:
+        """Drop state referencing dead incarnations (non-generator).
+
+        Survivors call this during recovery: cached region handles for a
+        respawned rank's old address space, fence acks that would surface
+        stale :class:`~repro.pami.faults.Failure` tokens after the rank
+        recovered, and the distributed-task-pool cache (its counters are
+        re-read from rolled-back memory on replay).
+        """
+        for rank in dead_ranks:
+            self.region_cache.invalidate_rank(rank)
+            self._pending_acks.pop(rank, None)
+            self.tracker.on_fence(rank)
+        if hasattr(self, "_dtp_state"):
+            delattr(self, "_dtp_state")
 
     def _register_handlers(self) -> None:
         from ..mpilike import msg as _msg
@@ -587,7 +698,9 @@ class ArmciProcess:
                 if self.world.is_failed(dst):
                     raise ProcessFailedError(
                         f"rank {self.rank}: send credit wait on failed rank "
-                        f"{dst}"
+                        f"{dst}",
+                        rank=dst,
+                        op="send_credit",
                     )
                 if deadline is not None and self.engine.now >= deadline:
                     raise DeadlineExceededError(
@@ -657,6 +770,23 @@ class ArmciProcess:
             raise ArmciError(f"allocation size must be positive, got {nbytes}")
         alloc_id = self._next_alloc_id
         self._next_alloc_id += 1
+        if self._replay_mode:
+            # Crash recovery replays the (deterministic) setup phase on a
+            # respawned rank: the collective already happened, so this
+            # rank re-maps its segment at the recorded address and
+            # re-registers it — no directory record, no barrier.
+            alloc = self.job.directory.allocation(alloc_id)
+            if alloc.nbytes != nbytes:
+                raise ArmciError(
+                    f"replayed malloc {alloc_id} asked {nbytes} bytes, "
+                    f"directory has {alloc.nbytes} (non-deterministic setup?)"
+                )
+            addr = alloc.addr(self.rank)
+            self.world.space(self.rank).map_at(addr, nbytes)
+            if self.config.use_rdma and alloc.registered.get(self.rank):
+                yield from self.world.regions[self.rank].create(addr, nbytes)
+            self.trace.incr("armci.mallocs_replayed")
+            return alloc
         addr = self.world.space(self.rank).allocate(nbytes)
         registered = False
         if self.config.use_rdma:
@@ -1107,7 +1237,7 @@ class ArmciProcess:
             value = yield from self.main_context.wait_with_progress(
                 pending.event, deadline=self._op_deadline(None)
             )
-            check_completion(value)
+            check_completion(value, op="rmw")
             if obs is not None:
                 # Why the wait ended: the target-side service span
                 # registered itself against our reply event.
@@ -1172,7 +1302,7 @@ class ArmciProcess:
                     # certifies writes that actually reached the target.
                     self.trace.incr("armci.fence_skipped_transient")
                     continue
-                check_completion(ack.value)
+                check_completion(ack.value, op="fence")
         finally:
             if sid is not None:
                 self.obs.end(sid, acks=len(acks))
@@ -1211,6 +1341,10 @@ class ArmciProcess:
 
     def barrier(self, timeout: float | None = None) -> Generator[Any, Any, None]:
         """Collective barrier (hardware network + progress while waiting)."""
+        if self._replay_mode:
+            # Setup replay on a respawned rank: the survivors already
+            # passed this barrier, so re-arriving would wedge the round.
+            return
         t0 = self.engine.now
         yield from _coll.barrier(self, deadline=self._op_deadline(timeout))
         if self.obs is None:

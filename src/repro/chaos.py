@@ -238,6 +238,18 @@ class FaultPlan:
         self.crashes.append(RankCrash(rank, at))
         return self
 
+    def crash_each(self, ranks, start: float, spacing: float = 0.0) -> "FaultPlan":
+        """Schedule each of ``ranks`` to fail, ``spacing`` seconds apart.
+
+        The recovery chaos schedules build on this: spacing chosen inside
+        an epoch kills ranks mid-transfer; spacing near an epoch boundary
+        kills them mid-checkpoint. ``spacing=0`` is a simultaneous
+        multi-rank loss (a node failure taking several processes).
+        """
+        for i, rank in enumerate(ranks):
+            self.crash(rank, start + i * spacing)
+        return self
+
     def exhaust_memregions(self, rank: int, at: float) -> "FaultPlan":
         """Exhaust ``rank``'s memory-region budget at time ``at``."""
         self.resource_faults.append(

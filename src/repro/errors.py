@@ -75,7 +75,33 @@ class ProcessFailedError(ReproError):
     Raised at the *initiator* when fault detection completes (the
     fault-tolerance extension; cf. Vishnu et al., HiPC 2010 — the
     resiliency motivation in the paper's introduction).
+
+    Attributes
+    ----------
+    rank:
+        The failed rank, when the detector knows it (``None`` otherwise).
+    op:
+        The originating operation kind (``"put"``, ``"rmw"``,
+        ``"barrier"``, ``"fence"``...) so recovery code and tests can
+        route per-op compensation without parsing message text.
     """
+
+    def __init__(
+        self, message: str = "", *, rank: int | None = None, op: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.op = op
+
+
+class RecoveryError(ReproError):
+    """The crash-recovery subsystem (``repro.recover``) hit a protocol
+    error it could not compensate for."""
+
+
+class UnrecoverableError(RecoveryError):
+    """A failure pattern the replication scheme cannot survive — e.g. a
+    rank *and* its replication buddy both died inside one epoch."""
 
 
 class TransientFaultError(ReproError):

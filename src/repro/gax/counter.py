@@ -23,9 +23,14 @@ class SharedCounter:
     handle to the same storage.
     """
 
-    def __init__(self, host: int, addr: int) -> None:
+    def __init__(self, host: int, addr: int, alloc=None) -> None:
         self.host = host
         self.addr = addr
+        #: The backing collective :class:`~repro.armci.runtime.Allocation`
+        #: when created via :meth:`create` (``None`` for raw handles).
+        #: Crash recovery protects counters through this — the counter
+        #: value lives in replicated memory and rolls back with it.
+        self.alloc = alloc
 
     @classmethod
     def create(
@@ -35,7 +40,7 @@ class SharedCounter:
         if not 0 <= host < rt.world.num_procs:
             raise ArmciError(f"counter host {host} out of range")
         alloc = yield from rt.malloc(8)
-        return cls(host, alloc.addr(host))
+        return cls(host, alloc.addr(host), alloc)
 
     def next(self, rt: "ArmciProcess", stride: int = 1) -> Generator[Any, Any, int]:
         """Draw the next value (returns the pre-increment value)."""

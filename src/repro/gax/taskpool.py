@@ -141,6 +141,17 @@ class DistributedTaskPool:
     def num_counters(self) -> int:
         return len(self.counters)
 
+    @property
+    def allocations(self) -> list:
+        """Backing allocations of every counter (primaries then backups).
+
+        Crash recovery protects these so draw positions roll back to the
+        checkpoint epoch together with the data they gated — replayed
+        epochs redraw the same task ids (exactly-once per epoch).
+        """
+        pools = list(self.counters) + list(self.backups or ())
+        return [c.alloc for c in pools if c.alloc is not None]
+
     def _shard_bounds(self, shard: int) -> tuple[int, int]:
         g = self.num_counters
         base, extra = divmod(self.ntasks, g)

@@ -181,22 +181,33 @@ def send_am(
         deliver_at = chaos.ordered_deliver(src, dst_rank, timing.deliver)
     world.ordering.record(src, dst_rank, deliver_at)
 
-    target_client = world.client(dst_rank)
     local_event = engine.event(f"am.local.{src}->{dst_rank}")
     attempts = [0]
+    src_inc = world.incarnations[src]
+    dst_inc = world.incarnations[dst_rank]
 
     def release_credit() -> None:
         # A credited request that will never be serviced (target died, or
         # the loss was reported to the initiator) must return its FIFO
-        # slot, or backpressure would leak credits under chaos.
-        if env.header.get("_credit"):
+        # slot, or backpressure would leak credits under chaos. The slot
+        # belongs to the incarnation the credit was acquired against: a
+        # respawned target's fresh contexts carry fresh credits, so stale
+        # releases are dropped rather than over-crediting the new FIFO.
+        if env.header.get("_credit") and world.incarnations[dst_rank] == dst_inc:
+            target_client = world.client(dst_rank)
             if target_context is not None:
                 target_client.context(target_context).release_credit()
             else:
                 target_client.progress_context().release_credit()
 
     def deliver(_arg) -> None:
-        if world.is_failed(dst_rank):
+        if world.is_failed(src) or world.incarnations[src] != src_inc:
+            # Sender's incarnation is gone: its state was rolled back, so
+            # servicing this request could double-apply replayed effects.
+            world.trace.incr("pami.stale_deliveries_dropped")
+            release_credit()
+            return
+        if world.is_failed(dst_rank) or world.incarnations[dst_rank] != dst_inc:
             from . import faults as _flt
 
             _flt.fail_am_replies(world, env, dst_rank)
@@ -224,6 +235,9 @@ def send_am(
                 else:
                     release_credit()
                 return
+        # Resolve the client at delivery time: the post-time client object
+        # is stale if the target died and respawned in between.
+        target_client = world.client(dst_rank)
         if target_context is not None:
             dst_ctx = target_client.context(target_context)
         else:

@@ -66,7 +66,10 @@ class RmwOp:
 class RmwItem(WorkItem):
     """A software-serviced AMO waiting in the target's context queue."""
 
-    __slots__ = ("request", "reply_ctx", "posted_at", "credited", "parent_span")
+    __slots__ = (
+        "request", "reply_ctx", "posted_at", "credited", "parent_span",
+        "src_inc",
+    )
 
     def __init__(
         self,
@@ -75,12 +78,14 @@ class RmwItem(WorkItem):
         posted_at: float,
         credited: bool = False,
         parent_span: int | None = None,
+        src_inc: int = 0,
     ) -> None:
         self.request = request
         self.reply_ctx = reply_ctx_rank
         self.posted_at = posted_at
         self.credited = credited
         self.parent_span = parent_span
+        self.src_inc = src_inc
 
     def cost(self, ctx: PamiContext) -> float:
         return ctx.params.rmw_service_time
@@ -89,6 +94,12 @@ class RmwItem(WorkItem):
         req = self.request
         world = ctx.client.world
         trace = world.trace
+        if world.is_failed(req.src) or world.incarnations[req.src] != self.src_inc:
+            # The initiator's incarnation died while this AMO sat queued:
+            # skip the apply (its effect will be replayed after recovery)
+            # and drop the reply nobody is waiting for.
+            trace.incr("pami.stale_deliveries_dropped")
+            return
         trace.incr("pami.rmw_serviced")
         trace.add_time("pami.rmw_queue_wait", world.engine.now - self.posted_at)
         obs = world.obs
@@ -117,7 +128,10 @@ class RmwItem(WorkItem):
         # The hosting rank died with this AMO unserviced: the initiator's
         # NIC reports the failure after its timeout.
         req = self.request
-        src_ctx = world.client(req.src).context(req.reply_context)
+        src_client = world.client(req.src)
+        if world.is_failed(req.src) or req.reply_context >= len(src_client.contexts):
+            return  # initiator is gone too (or respawning): nobody waits
+        src_ctx = src_client.context(req.reply_context)
         world.engine.schedule(
             _flt.FAULT_DETECT_DELAY,
             lambda _a: src_ctx.post(
@@ -191,8 +205,13 @@ def rmw(
     # target services the request the initiator's stack may have moved.
     parent_span = obs.current(src) if obs is not None else None
 
+    src_inc = world.incarnations[src]
+    dst_inc = world.incarnations[dst_rank]
+
     def _return_credit() -> None:
-        if credited:
+        # Credits belong to the incarnation they were acquired against; a
+        # respawned target's fresh context must not be over-credited.
+        if credited and world.incarnations[dst_rank] == dst_inc:
             world.client(dst_rank).progress_context().release_credit()
 
     chaos = world.chaos
@@ -218,6 +237,14 @@ def rmw(
         done = world.nic_amo_slot(dst_rank, arrive, NIC_AMO_SERVICE)
 
         def hw_service(_arg) -> None:
+            if world.is_failed(dst_rank) or world.incarnations[dst_rank] != dst_inc:
+                engine.schedule(
+                    _flt.FAULT_DETECT_DELAY,
+                    lambda _a: ctx.post(
+                        CompletionItem(event, _flt.Failure(dst_rank))
+                    ),
+                )
+                return
             if obs is not None:
                 sid = obs.record(
                     dst_rank, "net", "amo_service", f"nic_rmw.{req.op}",
@@ -235,22 +262,31 @@ def rmw(
         engine.schedule(done - now, hw_service)
         return RmwOp(op, src, dst_rank, addr, event)
 
-    target_client = world.client(dst_rank)
-
     def deliver(_arg) -> None:
-        if world.is_failed(dst_rank):
+        if world.is_failed(src) or world.incarnations[src] != src_inc:
+            # Dead-incarnation request: the initiator's state was rolled
+            # back, so applying the op would double-count on replay.
+            world.trace.incr("pami.stale_deliveries_dropped")
+            _return_credit()
+            return
+        if world.is_failed(dst_rank) or world.incarnations[dst_rank] != dst_inc:
             _return_credit()
             engine.schedule(
                 _flt.FAULT_DETECT_DELAY,
                 lambda _a: ctx.post(CompletionItem(event, _flt.Failure(dst_rank))),
             )
             return
+        # Resolve at delivery time (a respawned target has a fresh client).
+        target_client = world.client(dst_rank)
         if target_context is not None:
             dst_ctx = target_client.context(target_context)
         else:
             dst_ctx = target_client.progress_context()
         dst_ctx.post(
-            RmwItem(req, src, engine.now, credited=credited, parent_span=parent_span)
+            RmwItem(
+                req, src, engine.now, credited=credited,
+                parent_span=parent_span, src_inc=src_inc,
+            )
         )
 
     engine.schedule(arrive - now, deliver)

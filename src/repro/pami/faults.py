@@ -41,9 +41,12 @@ class Failure:
 
     dead_rank: int
 
-    def to_exception(self) -> ProcessFailedError:
+    def to_exception(self, op: str | None = None) -> ProcessFailedError:
+        what = op if op is not None else "one-sided operation"
         return ProcessFailedError(
-            f"one-sided operation targeted failed rank {self.dead_rank}"
+            f"{what} targeted failed rank {self.dead_rank}",
+            rank=self.dead_rank,
+            op=op,
         )
 
 
@@ -68,10 +71,14 @@ class TransientFault:
 FAULT_DETECT_DELAY = 25e-6
 
 
-def check_completion(value):
+def check_completion(value, op: str | None = None):
     """Raise if a completion value carries a failure token; else pass it
-    through. Used by every ARMCI wait path."""
-    if isinstance(value, (Failure, TransientFault)):
+    through. Used by every ARMCI wait path. ``op`` names the originating
+    operation kind so the raised exception carries structured routing
+    attributes (see :class:`~repro.errors.ProcessFailedError`)."""
+    if isinstance(value, Failure):
+        raise value.to_exception(op)
+    if isinstance(value, TransientFault):
         raise value.to_exception()
     return value
 

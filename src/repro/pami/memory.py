@@ -60,6 +60,37 @@ class AddressSpace:
         self._next = base + ((nbytes + PAGE - 1) // PAGE + 1) * PAGE
         return base
 
+    def map_at(self, addr: int, nbytes: int, fill: int = 0) -> int:
+        """Create a segment at a *fixed* base address and return it.
+
+        Recovery uses this to rebuild a respawned rank's address space with
+        the same layout the dead incarnation had: allocations replayed from
+        the allocation directory must land at their recorded addresses so
+        that remote ranks' cached pointers stay valid.
+        """
+        if nbytes <= 0:
+            raise PamiError(f"allocation size must be positive, got {nbytes}")
+        if addr < BASE_ADDRESS or addr % PAGE:
+            raise PamiError(f"map_at address {addr:#x} must be page-aligned")
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            prev = self._bases[idx]
+            if prev + self._segments[prev].size > addr:
+                raise PamiError(
+                    f"map_at [{addr:#x}, +{nbytes}) overlaps segment at {prev:#x}"
+                )
+        if idx + 1 < len(self._bases) and addr + nbytes > self._bases[idx + 1]:
+            raise PamiError(
+                f"map_at [{addr:#x}, +{nbytes}) overlaps segment at "
+                f"{self._bases[idx + 1]:#x}"
+            )
+        self._segments[addr] = np.full(nbytes, fill, dtype=np.uint8)
+        bisect.insort(self._bases, addr)
+        self._next = max(
+            self._next, addr + ((nbytes + PAGE - 1) // PAGE + 1) * PAGE
+        )
+        return addr
+
     def free(self, base: int) -> None:
         """Release a segment previously returned by :meth:`allocate`."""
         if base not in self._segments:

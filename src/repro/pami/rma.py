@@ -91,10 +91,23 @@ def rdma_put(
         fault = chaos.transfer_fault(src, dst_rank, "put")
         deliver_at = chaos.ordered_deliver(src, dst_rank, timing.deliver)
     world.ordering.record(src, dst_rank, deliver_at)
+    src_inc = world.incarnations[src]
+    dst_inc = world.incarnations[dst_rank]
 
     def deliver(_arg) -> None:
         if fault is not None or world.is_failed(dst_rank):
             return  # dropped: lost in transit, or at the dead NIC
+        if (
+            world.incarnations[dst_rank] != dst_inc
+            or world.is_failed(src)
+            or world.incarnations[src] != src_inc
+        ):
+            # Traffic from or to a dead incarnation: a respawned target
+            # has fresh memory (the old registration is gone) and a dead
+            # source's writes must not land after the survivors rolled
+            # back — either way the NIC discards the packet.
+            world.trace.incr("pami.stale_deliveries_dropped")
+            return
         world.space(dst_rank).write_into(remote_addr, data)
 
     engine.schedule(deliver_at - now, deliver)
@@ -115,7 +128,7 @@ def rdma_put(
         ack_arrive = deliver_at + hops * world.params.hop_latency
 
         def ack(_arg) -> None:
-            if world.is_failed(dst_rank):
+            if world.is_failed(dst_rank) or world.incarnations[dst_rank] != dst_inc:
                 engine.schedule(
                     _flt.FAULT_DETECT_DELAY,
                     lambda _a: ctx.post(
@@ -172,9 +185,17 @@ def rdma_get(
         # Gets bypass the ordering checker (NIC-served reads), so their
         # jitter needs no per-pair clamping.
         deliver_at = chaos.unordered_deliver(src, dst_rank, timing.deliver)
+    dst_inc = world.incarnations[dst_rank]
 
     def read_remote(_arg) -> None:
-        if fault is None and not world.is_failed(dst_rank):
+        # A respawned target's fresh space has no registration at the old
+        # address: the read misses and the op completes with a Failure
+        # token, exactly like a read served by a dead NIC.
+        if (
+            fault is None
+            and not world.is_failed(dst_rank)
+            and world.incarnations[dst_rank] == dst_inc
+        ):
             snapshot.append(world.space(dst_rank).snapshot(remote_addr, nbytes))
 
     def complete(_arg) -> None:

@@ -86,6 +86,7 @@ class PamiWorld:
         )
         self.ordering = OrderingChecker()
         self.nic_amo_support = nic_amo_support
+        self._max_regions = max_regions
         #: Per-rank virtual address spaces (real bytes live here).
         self.spaces = [AddressSpace() for _ in range(num_procs)]
         #: Per-rank RDMA region tables.
@@ -103,6 +104,11 @@ class PamiWorld:
         self.obs = None
         #: Ranks failed via :meth:`fail_rank` (fault-tolerance extension).
         self.failed_ranks: set[int] = set()
+        #: Per-rank incarnation numbers, bumped on every :meth:`respawn_rank`.
+        #: Delivery paths compare the incarnation captured at post time
+        #: against the current one so traffic addressed to a dead
+        #: incarnation cannot land in a respawned rank's fresh memory.
+        self.incarnations: list[int] = [0] * num_procs
         #: Callbacks invoked with the rank on every :meth:`fail_rank`.
         self._failure_listeners: list = []
         #: Chaos engine (transient fault injection); None = disabled.
@@ -165,6 +171,29 @@ class PamiWorld:
     def is_failed(self, rank: int) -> bool:
         """Whether ``rank`` has been failed (non-generator)."""
         return rank in self.failed_ranks
+
+    def incarnation(self, rank: int) -> int:
+        """Current incarnation number of ``rank`` (non-generator)."""
+        return self.incarnations[rank]
+
+    def respawn_rank(self, rank: int) -> None:
+        """Bring a failed rank back with a fresh, empty incarnation.
+
+        The rank gets a new address space, region table, and PAMI client
+        (contexts and dispatch handlers must be re-created by the runtime).
+        Its incarnation number is bumped so in-flight traffic addressed to
+        the dead incarnation is silently dropped at delivery.
+        """
+        if rank not in self.failed_ranks:
+            raise PamiError(f"respawn of rank {rank} which is not failed")
+        self.failed_ranks.discard(rank)
+        self.spaces[rank] = AddressSpace()
+        self.regions[rank] = MemoryRegionRegistry(
+            rank, self.params.memregion_create_time, self._max_regions
+        )
+        self.clients[rank] = PamiClient(self, rank)
+        self.incarnations[rank] += 1
+        self.trace.incr("pami.ranks_respawned")
 
     def nic_amo_slot(self, rank: int, arrive: float, service: float) -> float:
         """Serialize a hardware AMO through ``rank``'s NIC; returns done time."""

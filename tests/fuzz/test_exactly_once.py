@@ -1,0 +1,142 @@
+"""Exactly-once fuzz: accumulate/rmw effects vs a golden model under chaos.
+
+The retry layer's contract is that a transient fault (drop, corruption,
+duplicate) never changes *what* was applied — a dropped request never
+touched the target, so the retry applies it exactly once, and a
+duplicated delivery is discarded by sequence-number dedup. This fuzz
+target drives a seeded random program of accumulates and fetch-adds
+through a chaotic transport and checks the final state against a pure
+Python golden model that applies each logical operation exactly once.
+
+Float accumulates use small integer values so addition is exact and
+order-independent — any double-apply or lost update shows up as an
+exact mismatch, not a tolerance question.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.armci import ArmciConfig, ArmciJob
+from repro.chaos import ChaosConfig
+
+P = 4
+WORDS = 32  # accumulate target words per rank
+OPS_PER_RANK = 20
+
+
+def _make_job(chaos):
+    job = ArmciJob(
+        P,
+        config=ArmciConfig.async_thread_mode(),
+        procs_per_node=1,
+        chaos=chaos,
+    )
+    job.init()
+    return job
+
+
+def _make_program(seed):
+    """Per-rank op lists: ("acc", dst, off, words, value) / ("rmw", dst, k)."""
+    rng = random.Random(seed)
+    program = []
+    for _rank in range(P):
+        ops = []
+        for _i in range(OPS_PER_RANK):
+            dst = rng.randrange(P)
+            if rng.random() < 0.5:
+                off = rng.randrange(WORDS - 4)
+                words = rng.randrange(1, 5)
+                value = rng.randrange(1, 10)
+                ops.append(("acc", dst, off, words, value))
+            else:
+                ops.append(("rmw", dst, rng.randrange(1, 5)))
+        program.append(ops)
+    return program
+
+
+def _golden(program):
+    """Final accumulate arrays and counter values, each op applied once."""
+    acc = {r: np.zeros(WORDS) for r in range(P)}
+    counters = {r: 0 for r in range(P)}
+    for ops in program:
+        for op in ops:
+            if op[0] == "acc":
+                _kind, dst, off, words, value = op
+                acc[dst][off : off + words] += value
+            else:
+                counters[op[1]] += op[2]
+    return acc, counters
+
+
+def _run(program, chaos):
+    job = _make_job(chaos)
+    out = {"acc": {}, "counters": {}, "draws": {r: [] for r in range(P)}}
+
+    def body(rt):
+        data = yield from rt.malloc(WORDS * 8)
+        counter = yield from rt.malloc(8)
+        yield from rt.barrier()
+        space = rt.world.space(rt.rank)
+        src = space.allocate(8 * 4)
+        for op in program[rt.rank]:
+            if op[0] == "acc":
+                _kind, dst, off, words, value = op
+                space.write_f64(src, np.full(words, float(value)))
+                yield from rt.acc(
+                    dst, src, data.addr(dst) + off * 8, words * 8
+                )
+            else:
+                _kind, dst, k = op
+                old = yield from rt.rmw(dst, counter.addr(dst), "fetch_add", k)
+                out["draws"][rt.rank].append((dst, old))
+        yield from rt.fence_all()
+        yield from rt.barrier()
+        out["acc"][rt.rank] = space.read_f64(data.addr(rt.rank), WORDS)
+        got = yield from rt.rmw(rt.rank, counter.addr(rt.rank), "fetch")
+        out["counters"][rt.rank] = got
+
+    job.run(body)
+    return out, job
+
+
+@pytest.mark.parametrize("seed", [3, 17, 92])
+def test_chaotic_effects_match_golden_model(seed):
+    """Drop + duplicate + jitter injection with retries enabled: every
+    accumulate and fetch-add lands exactly once."""
+    program = _make_program(seed)
+    golden_acc, golden_counters = _golden(program)
+    chaos = ChaosConfig(
+        seed=seed, drop_prob=0.15, dup_prob=0.15, jitter_prob=0.2,
+        jitter_max=2e-6,
+    )
+    out, job = _run(program, chaos)
+    # The dice actually rolled faults (otherwise this test is vacuous).
+    assert (
+        job.trace.count("chaos.drops") + job.trace.count("chaos.duplicates")
+    ) > 0
+    assert job.trace.count("armci.transient_retries") > 0
+    for rank in range(P):
+        np.testing.assert_array_equal(out["acc"][rank], golden_acc[rank])
+        assert out["counters"][rank] == golden_counters[rank]
+
+
+@pytest.mark.parametrize("seed", [5, 41])
+def test_chaotic_run_matches_clean_run(seed):
+    """The same program through a clean and a chaotic transport produces
+    identical state, and per-rank fetch-add draws stay monotonic (the
+    counter never goes backwards, so no draw was double-applied)."""
+    program = _make_program(seed)
+    clean, _ = _run(program, None)
+    chaotic, job = _run(
+        program, ChaosConfig(seed=seed + 1, drop_prob=0.25, dup_prob=0.1)
+    )
+    assert job.trace.count("chaos.drops") > 0
+    for rank in range(P):
+        np.testing.assert_array_equal(clean["acc"][rank], chaotic["acc"][rank])
+        assert clean["counters"][rank] == chaotic["counters"][rank]
+        per_dst = {}
+        for dst, old in chaotic["draws"][rank]:
+            assert old >= per_dst.get(dst, 0)
+            per_dst[dst] = old

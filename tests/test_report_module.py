@@ -17,7 +17,7 @@ class TestCounterLayout:
         sections = {s for s, _k, _l in _COUNTER_LAYOUT}
         assert sections <= {
             "protocols", "datapath", "aggregation", "caches",
-            "synchronization", "progress", "network",
+            "synchronization", "resilience", "progress", "network",
         }
 
 
