@@ -128,6 +128,22 @@ class ArmciConfig:
         (buddy replication, coordinated checkpoint/restore, respawn).
         ``None`` (the default) or a disabled config keeps every recovery
         code path dormant — paper figures are byte-identical.
+    integrity:
+        :class:`~repro.pami.integrity.IntegrityConfig` end-to-end payload
+        integrity switches (per-transfer CRC32 + sequence numbers,
+        verified at delivery, with transparent transport retransmission
+        of corrupted transfers). ``None`` (the default) or a disabled
+        config keeps the protection off — silent in-flight corruption
+        (``corrupt_mode="payload"`` chaos, corrupting links) then lands.
+    health:
+        :class:`~repro.machine.health.LinkHealthConfig` link health
+        monitoring switches. Enabled, the job routes on *observed* link
+        state: wire losses/corruptions walk links through
+        ``ok -> suspect -> dead`` with hysteresis, rerouting kicks in as
+        links are declared bad, and ranks left unreachable on **all**
+        paths (and only those) are escalated to the failure machinery.
+        ``None`` (the default) routes on ground truth when link faults
+        are injected, and not at all otherwise.
     """
 
     async_thread: bool = False
@@ -145,6 +161,8 @@ class ArmciConfig:
     watchdog_period: float | None = None
     obs: ObsConfig = ObsConfig()
     recovery: object | None = None
+    integrity: object | None = None
+    health: object | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.obs, ObsConfig):
@@ -158,6 +176,22 @@ class ArmciConfig:
                 raise ArmciError(
                     f"recovery must be a RecoveryConfig or None, got "
                     f"{type(self.recovery).__name__}"
+                )
+        if self.integrity is not None:
+            from ..pami.integrity import IntegrityConfig
+
+            if not isinstance(self.integrity, IntegrityConfig):
+                raise ArmciError(
+                    f"integrity must be an IntegrityConfig or None, got "
+                    f"{type(self.integrity).__name__}"
+                )
+        if self.health is not None:
+            from ..machine.health import LinkHealthConfig
+
+            if not isinstance(self.health, LinkHealthConfig):
+                raise ArmciError(
+                    f"health must be a LinkHealthConfig or None, got "
+                    f"{type(self.health).__name__}"
                 )
         if self.num_contexts < 1:
             raise ArmciError(f"need >= 1 context, got {self.num_contexts}")

@@ -72,6 +72,28 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
     ("network", "net.get.messages", "get messages"),
     ("network", "net.am.messages", "active messages"),
     ("network", "net.control.messages", "control packets"),
+    ("network", "chaos.link_kills", "links killed"),
+    ("network", "chaos.link_revives", "links revived (plan)"),
+    ("network", "chaos.link_degrades", "links degraded"),
+    ("network", "net.reroutes", "routes detoured off dim-order"),
+    ("network", "net.route_recomputes", "route recomputations"),
+    ("network", "net.reroute_extra_hops", "extra hops from detours"),
+    ("network", "net.link_drops", "transfers lost on links"),
+    ("network", "net.payload_corruptions", "payloads corrupted in flight"),
+    ("network", "net.retransmits", "link-loss retransmits (AM)"),
+    ("network", "net.am_undeliverable", "AMs undeliverable (no path)"),
+    ("network", "net.health_probes", "link health probes"),
+    ("network", "net.links_suspected", "links marked suspect"),
+    ("network", "net.links_dead", "links declared dead"),
+    ("network", "net.links_revived", "links recovered (observed)"),
+    ("network", "net.ranks_unreachable", "ranks escalated (unreachable)"),
+    ("network", "pami.silent_corruptions", "corruptions landed silently"),
+    ("network", "armci.integrity.protected", "transfers checksummed"),
+    ("network", "armci.integrity.checksum_failures", "checksum failures caught"),
+    ("network", "armci.integrity.retransmits", "integrity retransmits"),
+    ("network", "armci.integrity.retransmit_bytes", "integrity retransmit bytes"),
+    ("network", "armci.integrity.duplicates_discarded", "duplicate deliveries discarded"),
+    ("network", "armci.integrity.aborted", "integrity budgets exhausted"),
 )
 
 

@@ -188,6 +188,13 @@ class ArmciJob:
                         f"{num_procs} processes"
                     )
         self.world = world
+        if fault_plan is not None and getattr(fault_plan, "link_faults", ()):
+            # Link coordinates are validated eagerly (bad plans fail at
+            # construction, not mid-run); this also switches the network
+            # into link-fault mode so routing is fault-aware from t=0.
+            link_state = world.enable_link_faults()
+            for lf in fault_plan.link_faults:
+                link_state.key(lf.a, lf.b)
         self.engine = world.engine
         self.trace = world.trace
         #: Observability recorder (``repro.obs``), or ``None`` when
@@ -220,6 +227,22 @@ class ArmciJob:
             from ..recover.manager import RecoveryManager
 
             self.recovery = RecoveryManager(self, self.config.recovery)
+        #: End-to-end payload integrity (``repro.pami.integrity``), or
+        #: ``None`` when ``config.integrity`` is unset/disabled — the
+        #: default, under which every transfer path pays one ``is None``.
+        if self.config.integrity is not None and self.config.integrity.enabled:
+            from ..pami.integrity import IntegrityEngine
+
+            world.integrity = IntegrityEngine(
+                self.config.integrity, self.trace, obs=world.obs
+            )
+        self.integrity = world.integrity
+        #: Link health monitor (``repro.machine.health``), or ``None``.
+        #: Installed, the network routes on *observed* link state and
+        #: escalates fully-unreachable ranks to the failure machinery.
+        self.health = None
+        if self.config.health is not None and self.config.health.enabled:
+            self.health = world.install_health_monitor(self.config.health)
 
     @property
     def num_procs(self) -> int:
@@ -341,6 +364,10 @@ class ArmciJob:
             for fault in getattr(self.fault_plan, "resource_faults", ()):
                 self.engine.schedule(
                     fault.at, lambda _a, f=fault: self._apply_resource_fault(f)
+                )
+            for lf in getattr(self.fault_plan, "link_faults", ()):
+                self.engine.schedule(
+                    lf.at, lambda _a, f=lf: self.world.apply_link_fault(f)
                 )
         if ranks is None:
             ranks = range(self.num_procs)
@@ -1297,6 +1324,15 @@ class ArmciProcess:
                         )
                         raise
                 if isinstance(ack.value, TransientFault):
+                    if ack.value.reason == "integrity_exhausted":
+                        # The write's retransmit budget died to repeated
+                        # corruption *after* local completion: nothing
+                        # surfaced this loss yet, so the fence must
+                        # refuse to certify it rather than skip it.
+                        self._pending_acks[dst] = (
+                            acks[i + 1:] + self._pending_acks.get(dst, [])
+                        )
+                        raise ack.value.to_exception()
                     # A transiently-lost write already surfaced (and was
                     # retried) at its own completion wait; the fence only
                     # certifies writes that actually reached the target.

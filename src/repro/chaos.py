@@ -52,6 +52,12 @@ from .pami.faults import FAULT_DETECT_DELAY, TransientFault
 #: Valid resource-fault kinds for :class:`ResourceFault`.
 RESOURCE_FAULT_KINDS = ("exhaust_memregions", "stall_progress", "saturate_fifo")
 
+#: Valid corruption models for :attr:`ChaosConfig.corrupt_mode`.
+CORRUPT_MODES = ("detected", "payload")
+
+#: Valid link-fault kinds for :class:`LinkFault`.
+LINK_FAULT_KINDS = ("kill", "revive", "degrade", "lossy", "corrupt")
+
 
 class ChaosError(ReproError):
     """Invalid chaos configuration or fault plan."""
@@ -60,6 +66,58 @@ class ChaosError(ReproError):
 def _check_prob(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise ChaosError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_coord(name: str, coord) -> None:
+    if not isinstance(coord, tuple) or not all(
+        isinstance(c, int) and c >= 0 for c in coord
+    ):
+        raise ChaosError(f"{name} must be a node coordinate tuple, got {coord!r}")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One scheduled link fault on the torus link ``(a, b)`` at time ``at``.
+
+    Kinds
+    -----
+    ``kill``
+        The link dies: every transfer routed across it is lost until a
+        ``revive`` (fault-aware routing detours around it meanwhile).
+    ``revive``
+        The link comes back healthy (clears degradation/loss modes too).
+    ``degrade``
+        Per-hop latency across the link is multiplied by ``factor``.
+    ``lossy``
+        Transfers crossing the link are dropped with probability ``prob``.
+    ``corrupt``
+        Transfers crossing the link get one payload bit flipped with
+        probability ``prob`` — *silently*, unless end-to-end integrity
+        (``ArmciConfig.integrity``) catches it.
+    """
+
+    kind: str
+    a: tuple[int, ...]
+    b: tuple[int, ...]
+    at: float
+    factor: float = 1.0
+    prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in LINK_FAULT_KINDS:
+            raise ChaosError(
+                f"unknown link fault {self.kind!r}; valid: {LINK_FAULT_KINDS}"
+            )
+        _check_coord("link endpoint a", self.a)
+        _check_coord("link endpoint b", self.b)
+        if self.at < 0.0:
+            raise ChaosError(f"fault time must be >= 0, got {self.at}")
+        if self.kind == "degrade" and self.factor < 1.0:
+            raise ChaosError(
+                f"degrade factor must be >= 1, got {self.factor}"
+            )
+        if self.kind in ("lossy", "corrupt"):
+            _check_prob(f"{self.kind} prob", self.prob)
 
 
 @dataclass(frozen=True)
@@ -94,8 +152,28 @@ class ChaosConfig:
     #: Retransmit budget for cookie-less AMs; the final attempt always
     #: delivers so injection cannot livelock fire-and-forget traffic.
     max_retransmits: int = 8
+    #: Corruption model. ``"detected"`` (the legacy seed behaviour): the
+    #: receiving NIC's checksum rejects the packet, so corruption is just
+    #: a loss with a different reason. ``"payload"``: the corruption is
+    #: *silent* — one payload bit flips in flight and the damaged data
+    #: lands, unless ``ArmciConfig.integrity`` verification catches it.
+    corrupt_mode: str = "detected"
+    #: Scheduled link faults (kill/degrade/lossy/corrupt/revive), applied
+    #: at their ``at`` times; requires the world's link-fault model,
+    #: which is enabled automatically when any are present.
+    link_faults: tuple = ()
 
     def __post_init__(self) -> None:
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise ChaosError(
+                f"unknown corrupt_mode {self.corrupt_mode!r}; "
+                f"valid: {CORRUPT_MODES}"
+            )
+        for lf in self.link_faults:
+            if not isinstance(lf, LinkFault):
+                raise ChaosError(
+                    f"link_faults entries must be LinkFault, got {lf!r}"
+                )
         _check_prob("drop_prob", self.drop_prob)
         _check_prob("corrupt_prob", self.corrupt_prob)
         _check_prob("dup_prob", self.dup_prob)
@@ -232,6 +310,7 @@ class FaultPlan:
 
     crashes: list[RankCrash] = field(default_factory=list)
     resource_faults: list[ResourceFault] = field(default_factory=list)
+    link_faults: list[LinkFault] = field(default_factory=list)
 
     def crash(self, rank: int, at: float) -> "FaultPlan":
         """Schedule ``rank`` to fail at simulated time ``at``."""
@@ -269,6 +348,37 @@ class FaultPlan:
         )
         return self
 
+    def kill_link(self, a, b, at: float) -> "FaultPlan":
+        """Kill the torus link ``(a, b)`` at time ``at``."""
+        self.link_faults.append(LinkFault("kill", tuple(a), tuple(b), at))
+        return self
+
+    def revive_link(self, a, b, at: float) -> "FaultPlan":
+        """Revive the torus link ``(a, b)`` at time ``at``."""
+        self.link_faults.append(LinkFault("revive", tuple(a), tuple(b), at))
+        return self
+
+    def degrade_link(self, a, b, at: float, factor: float) -> "FaultPlan":
+        """Multiply the link's per-hop latency by ``factor`` at time ``at``."""
+        self.link_faults.append(
+            LinkFault("degrade", tuple(a), tuple(b), at, factor=factor)
+        )
+        return self
+
+    def lossy_link(self, a, b, at: float, prob: float) -> "FaultPlan":
+        """Make the link drop crossing transfers w.p. ``prob`` at ``at``."""
+        self.link_faults.append(
+            LinkFault("lossy", tuple(a), tuple(b), at, prob=prob)
+        )
+        return self
+
+    def corrupt_link(self, a, b, at: float, prob: float) -> "FaultPlan":
+        """Make the link silently flip payload bits w.p. ``prob`` at ``at``."""
+        self.link_faults.append(
+            LinkFault("corrupt", tuple(a), tuple(b), at, prob=prob)
+        )
+        return self
+
 
 class ChaosEngine:
     """Runtime dice-roller consulted by the PAMI transfer paths.
@@ -291,8 +401,14 @@ class ChaosEngine:
         links = self.config.links
         return links is None or (src, dst) in links
 
-    def transfer_fault(self, src: int, dst: int, kind: str) -> TransientFault | None:
-        """Roll drop/corruption for one request; None = delivered clean."""
+    def transfer_fault(self, src: int, dst: int, kind: str):
+        """Roll drop/corruption for one request; None = delivered clean.
+
+        Returns a :class:`~repro.pami.faults.TransientFault` for a loss
+        (or a detected corruption), a
+        :class:`~repro.pami.integrity.PayloadCorruption` for a silent
+        payload corruption (``corrupt_mode="payload"``), or None.
+        """
         if not self._applies(src, dst):
             return None
         cfg = self.config
@@ -304,6 +420,14 @@ class ChaosEngine:
         if roll < cfg.drop_prob + cfg.corrupt_prob:
             self.trace.incr("chaos.corruptions")
             self.trace.incr(f"chaos.corruptions.{kind}")
+            if cfg.corrupt_mode == "payload":
+                # Extra RNG draws happen only in payload mode, so the
+                # legacy "detected" fault sequences replay unchanged.
+                from .pami.integrity import PayloadCorruption
+
+                return PayloadCorruption(
+                    src, dst, self._rng.random(), self._rng.randrange(8)
+                )
             return TransientFault("corrupted", src, dst)
         return None
 

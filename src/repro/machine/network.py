@@ -89,6 +89,17 @@ class TorusNetwork:
         self._link_free: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
         # Cache (src, dst) -> directed links of the dimension-order route.
         self._route_cache: dict[tuple[int, int], tuple] = {}
+        #: Link-fault mode (all None = the seed's immortal network; the
+        #: default paths pay a single ``route_table is None`` test).
+        self.link_state = None
+        self.route_table = None
+        self.health = None
+        # (src, dst) -> (view epoch, hop links | None, hop cost, hops).
+        self._fault_route_cache: dict[tuple[int, int], tuple] = {}
+        # Per-(src, dst) high-water delivery time: reroutes can shorten
+        # paths mid-stream, so fault-mode ordered traffic is clamped
+        # monotone (head-of-line blocking on the new route).
+        self._last_deliver: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------ helpers
 
@@ -126,6 +137,118 @@ class TorusNetwork:
             links = tuple(zip(path, path[1:]))
             self._route_cache[key] = links
         return links
+
+    # ------------------------------------------------- link-fault mode
+
+    def enable_link_faults(self, link_state, route_table) -> None:
+        """Switch into link-fault mode: timing follows the actual route."""
+        self.link_state = link_state
+        self.route_table = route_table
+        self._fault_route_cache.clear()
+
+    def install_health(self, monitor) -> None:
+        """Route on the monitor's *observed* view instead of ground truth."""
+        self.health = monitor
+        self.route_table.view = monitor
+        self.route_table.invalidate()
+        self._fault_route_cache.clear()
+
+    def _fault_route(self, src: int, dst: int) -> tuple:
+        """Current route between two ranks: ``(hop links, hop cost, hops)``.
+
+        ``hop links`` is None when the destination is unreachable on
+        every path; timing then falls back to the torus distance (the
+        transfer is doomed anyway — :meth:`wire_fate` drops it).
+        """
+        key = (src, dst)
+        epoch = self.route_table.view.epoch
+        hit = self._fault_route_cache.get(key)
+        if hit is not None and hit[0] == epoch:
+            return hit[1], hit[2], hit[3]
+        src_node, dst_node = self.node_of(src), self.node_of(dst)
+        path = self.route_table.route(src_node, dst_node)
+        p = self.params
+        if path is None:
+            hops = self.mapping.torus.distance(src_node, dst_node)
+            links, cost = None, hops * p.hop_latency
+        else:
+            links = tuple(zip(path, path[1:]))
+            hops = len(links)
+            factor = self.link_state.latency_factor
+            # Sum of per-hop factors: with every factor 1.0 this is
+            # exactly float(hops), so a fault-free route prices
+            # identically to the seed's ``hops * hop_latency``.
+            cost = p.hop_latency * sum(factor(u, v) for u, v in links)
+            base = self.mapping.torus.distance(src_node, dst_node)
+            if hops > base:
+                self.trace.incr("net.reroute_extra_hops", hops - base)
+        self._fault_route_cache[key] = (epoch, links, cost, hops)
+        return links, cost, hops
+
+    def hop_cost(self, src: int, dst: int) -> float:
+        """Torus traversal latency between two ranks' nodes.
+
+        The seed expression when link faults are off; the priced actual
+        route (detours and degraded links included) when they are on.
+        """
+        if self.route_table is None:
+            return self.hops(src, dst) * self.params.hop_latency
+        return self._fault_route(src, dst)[1]
+
+    def route_blocked(self, src: int, dst: int) -> bool:
+        """Whether no healthy path currently reaches ``dst`` from ``src``."""
+        if self.route_table is None or self.is_local(src, dst):
+            return False
+        return self._fault_route(src, dst)[0] is None
+
+    def wire_fate(self, src: int, dst: int, kind: str):
+        """Resolve the link-level fate of one transfer over its route.
+
+        Returns None (clean), ``("dropped", link | None)`` when the
+        transfer dies on a dead/lossy hop (None = no route at all), or
+        ``("corrupt", PayloadCorruption)`` when a corrupting hop flips a
+        payload bit. Health observations are fed as a side effect. Only
+        called in link-fault mode, for inter-node transfers.
+        """
+        links, _cost, _hops = self._fault_route(src, dst)
+        health = self.health
+        if links is None:
+            self.trace.incr("net.link_drops")
+            self.trace.incr(f"net.link_drops.{kind}")
+            return ("dropped", None)
+        ls = self.link_state
+        for u, v in links:
+            link = ls.key(u, v)
+            if ls.is_dead_link(link) or ls.roll_loss(link):
+                self.trace.incr("net.link_drops")
+                self.trace.incr(f"net.link_drops.{kind}")
+                if health is not None:
+                    health.observe_loss(link)
+                return ("dropped", link)
+            hit = ls.roll_corrupt(link)
+            if hit is not None:
+                from ..pami.integrity import PayloadCorruption
+
+                self.trace.incr("net.payload_corruptions")
+                if health is not None:
+                    health.observe_corruption(link)
+                return ("corrupt", PayloadCorruption(src, dst, hit[0], hit[1]))
+        if health is not None:
+            health.observe_route_ok(links)
+        return None
+
+    def ordered_deliver(self, src: int, dst: int, deliver: float) -> float:
+        """Monotone-clamped delivery time for fault-mode ordered traffic.
+
+        A reroute onto a shorter (or revived) path could deliver a later
+        message before an earlier one on the same pair; the clamp models
+        head-of-line blocking so the pairwise ordering guarantee holds.
+        """
+        floor = self._last_deliver.get((src, dst))
+        if floor is not None and floor > deliver:
+            deliver = floor
+        self._last_deliver[(src, dst)] = deliver
+        return deliver
 
     def _inject(
         self, rank: int, post_time: float, occupancy: float, dst: int | None = None
@@ -181,7 +304,7 @@ class TorusNetwork:
         start, done = self._inject(
             src, now, self._occupancy(nbytes, extra_occupancy), dst=dst
         )
-        deliver = done + self.hops(src, dst) * p.hop_latency
+        deliver = done + self.hop_cost(src, dst)
         complete = done + p.put_completion_delay
         return TransferTiming(start, done, deliver, complete)
 
@@ -206,12 +329,12 @@ class TorusNetwork:
             read_at = now + p.shm_latency
             complete = read_at + p.shm_latency + nbytes * p.shm_byte_time
             return TransferTiming(now, now, read_at, complete)
-        hops = self.hops(src, dst)
-        request_arrive = now + p.get_request_overhead + hops * p.hop_latency
+        hop_cost = self.hop_cost(src, dst)
+        request_arrive = now + p.get_request_overhead + hop_cost
         start, done = self._inject(
             dst, request_arrive, self._occupancy(nbytes, extra_occupancy), dst=src
         )
-        complete = done + hops * p.hop_latency + p.get_completion_delay
+        complete = done + hop_cost + p.get_completion_delay
         return TransferTiming(start, done, start, complete)
 
     def packet_arrival(self, src: int, dst: int) -> float:
@@ -224,7 +347,7 @@ class TorusNetwork:
         self.trace.incr("net.control.messages")
         if self.is_local(src, dst):
             return now + p.shm_latency
-        return now + p.am_send_overhead + self.hops(src, dst) * p.hop_latency
+        return now + p.am_send_overhead + self.hop_cost(src, dst)
 
     def am_payload_timing(self, src: int, dst: int, nbytes: int) -> TransferTiming:
         """An active message carrying a payload (fall-back protocols).
@@ -241,5 +364,5 @@ class TorusNetwork:
             deliver = now + p.shm_latency + nbytes * p.shm_byte_time
             return TransferTiming(now, now, deliver, deliver)
         start, done = self._inject(src, now, self._occupancy(nbytes), dst=dst)
-        deliver = done + self.hops(src, dst) * p.hop_latency
+        deliver = done + self.hop_cost(src, dst)
         return TransferTiming(start, done, deliver, deliver)

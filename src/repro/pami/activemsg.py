@@ -8,6 +8,7 @@ miss service, accumulates, and collectives.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
@@ -16,7 +17,14 @@ import numpy as np
 from ..errors import PamiError
 from ..obs.span import context_lane
 from ..sim.event import Event
+from . import faults as _flt
 from .context import CompletionItem, PamiContext, WorkItem
+from .integrity import PayloadCorruption
+
+#: Transport retransmit backoff / budget for link-fault losses when
+#: neither the chaos nor the integrity layer supplies its own knobs.
+LINK_RETRANSMIT_DELAY = 5e-6
+LINK_RETRANSMIT_BUDGET = 8
 
 
 @dataclass(frozen=True)
@@ -176,15 +184,42 @@ def send_am(
     now = engine.now
 
     chaos = world.chaos
+    integ = world.integrity
+    net = world.network
+    link_mode = net.route_table is not None and not net.is_local(src, dst_rank)
     deliver_at = timing.deliver
     if chaos is not None:
         deliver_at = chaos.ordered_deliver(src, dst_rank, timing.deliver)
+    if link_mode:
+        deliver_at = net.ordered_deliver(src, dst_rank, deliver_at)
     world.ordering.record(src, dst_rank, deliver_at)
 
     local_event = engine.event(f"am.local.{src}->{dst_rank}")
     attempts = [0]
     src_inc = world.incarnations[src]
     dst_inc = world.incarnations[dst_rank]
+    protection = (
+        integ.protect(src, dst_rank, env.payload) if integ is not None else None
+    )
+    # Per-message attempt budget (the final attempt always delivers —
+    # bounded loss — unless the route is gone entirely).
+    if chaos is not None or integ is not None:
+        budget = max(
+            chaos.config.max_retransmits if chaos is not None else 0,
+            integ.config.max_retransmits if integ is not None else 0,
+        )
+    else:
+        budget = LINK_RETRANSMIT_BUDGET
+    detect_delay = (
+        chaos.config.detect_delay if chaos is not None else _flt.FAULT_DETECT_DELAY
+    )
+    retrans_delay = (
+        chaos.config.retransmit_delay
+        if chaos is not None
+        else integ.config.retransmit_delay
+        if integ is not None
+        else LINK_RETRANSMIT_DELAY
+    )
 
     def release_credit() -> None:
         # A credited request that will never be serviced (target died, or
@@ -208,33 +243,69 @@ def send_am(
             release_credit()
             return
         if world.is_failed(dst_rank) or world.incarnations[dst_rank] != dst_inc:
-            from . import faults as _flt
-
             _flt.fail_am_replies(world, env, dst_rank)
             release_credit()
             return
-        if chaos is not None:
-            attempts[0] += 1
-            fault = None
-            if attempts[0] <= chaos.config.max_retransmits:
-                # The final retransmit always delivers (bounded loss), so
-                # fire-and-forget traffic cannot livelock under chaos.
-                fault = chaos.transfer_fault(src, dst_rank, "am")
-            if fault is not None:
-                from . import faults as _flt
-
-                failed = _flt.fail_reply_cookies(
-                    world, env, fault, chaos.config.detect_delay
-                )
-                if failed == 0:
-                    # No reply cookies: the initiator can't observe the
-                    # loss, so the transport retransmits (the credit stays
-                    # held — the slot is still reserved for this request).
-                    world.trace.incr("chaos.retransmits")
-                    engine.schedule(chaos.config.retransmit_delay, deliver)
+        attempts[0] += 1
+        within = attempts[0] <= budget
+        outcome = None  # TransientFault | PayloadCorruption | None
+        wire_loss = False
+        if chaos is not None and within:
+            # The final retransmit always delivers (bounded loss), so
+            # fire-and-forget traffic cannot livelock under chaos.
+            outcome = chaos.transfer_fault(src, dst_rank, "am")
+        if outcome is None and link_mode and within:
+            wire = net.wire_fate(src, dst_rank, "am")
+            if wire is not None:
+                if wire[0] == "dropped":
+                    outcome = _flt.TransientFault("link_dead", src, dst_rank)
+                    wire_loss = True
                 else:
-                    release_credit()
+                    outcome = wire[1]
+        if not within and link_mode and net.route_blocked(src, dst_rank):
+            # Out of budget and no healthy path remains: undeliverable.
+            # Cookied requests surface the loss; fire-and-forget ones
+            # vanish (their credit is returned so the FIFO stays sane).
+            _flt.fail_reply_cookies(
+                world, env,
+                _flt.TransientFault("unreachable", src, dst_rank),
+                detect_delay,
+            )
+            world.trace.incr("net.am_undeliverable")
+            release_credit()
+            return
+        if isinstance(outcome, _flt.TransientFault):
+            failed = _flt.fail_reply_cookies(world, env, outcome, detect_delay)
+            if failed == 0:
+                # No reply cookies: the initiator can't observe the
+                # loss, so the transport retransmits (the credit stays
+                # held — the slot is still reserved for this request).
+                world.trace.incr(
+                    "net.retransmits" if wire_loss else "chaos.retransmits"
+                )
+                engine.schedule(retrans_delay, deliver)
+            else:
+                release_credit()
+            return
+        env_out = env
+        if outcome is not None:  # PayloadCorruption
+            env_out = dataclasses.replace(env, payload=outcome.apply(env.payload))
+        if protection is not None:
+            verdict = integ.verify(
+                src, dst_rank, protection[0], protection[1], env_out.payload
+            )
+            if verdict == "corrupt":
+                # End-to-end checksum rejects the damaged delivery; the
+                # transport retransmits transparently.
+                integ.count_retransmit(env.payload_bytes)
+                engine.schedule(integ.config.retransmit_delay, deliver)
                 return
+            if verdict == "duplicate":
+                release_credit()
+                return
+        elif outcome is not None and env.payload is not None:
+            # No integrity layer: the damaged payload lands silently.
+            world.trace.incr("pami.silent_corruptions")
         # Resolve the client at delivery time: the post-time client object
         # is stale if the target died and respawned in between.
         target_client = world.client(dst_rank)
@@ -242,7 +313,7 @@ def send_am(
             dst_ctx = target_client.context(target_context)
         else:
             dst_ctx = target_client.progress_context()
-        dst_ctx.post(AmItem(env))
+        dst_ctx.post(AmItem(env_out))
         if chaos is not None and chaos.duplicate(src, dst_rank):
             dst_ctx.post(DuplicateAmItem(env))
 

@@ -17,6 +17,7 @@ Blue Gene hardware.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -24,6 +25,7 @@ from ..errors import PamiError
 from ..sim.event import Event
 from . import faults as _flt
 from .context import CompletionItem, PamiContext, WorkItem
+from .integrity import PayloadCorruption, corrupt_int
 
 #: value_new = op(value_old, operand, operand2); returns the new value.
 RmwFunc = Callable[[int, int, int], int]
@@ -152,6 +154,12 @@ class _RmwRequest:
     reply_context: int
 
 
+def _operand_bytes(req: "_RmwRequest") -> bytes:
+    """Canonical wire encoding of the AMO's mutable fields — what the
+    integrity layer checksums (AMO requests carry ints, not buffers)."""
+    return f"{req.op}:{req.addr}:{req.operand}:{req.operand2}".encode()
+
+
 def _apply(world, req: "_RmwRequest") -> int:
     """Atomically apply the op to target memory; returns the old value."""
     # One segment lookup serves both the load and the store.
@@ -215,21 +223,53 @@ def rmw(
             world.client(dst_rank).progress_context().release_credit()
 
     chaos = world.chaos
+    integ = world.integrity
+    net = world.network
+    link_mode = net.route_table is not None and not net.is_local(src, dst_rank)
+    fault = None
+    corruption = None
+    chaos_fault = False
     if chaos is not None:
         # AMOs are unordered (Section III-A.4): unclamped jitter.
         arrive = chaos.unordered_deliver(src, dst_rank, arrive)
-        fault = chaos.transfer_fault(src, dst_rank, "rmw")
-        if fault is not None:
-            # Request lost before the op was applied — retry-safe: the
-            # fetch_add/swap never happened at the target.
-            def report_loss(_a) -> None:
-                _return_credit()
-                ctx.post(CompletionItem(event, fault))
+        outcome = chaos.transfer_fault(src, dst_rank, "rmw")
+        if isinstance(outcome, PayloadCorruption):
+            corruption = outcome
+        else:
+            fault = outcome
+            chaos_fault = fault is not None
+    if fault is None and corruption is None and link_mode:
+        wire = net.wire_fate(src, dst_rank, "rmw")
+        if wire is not None:
+            if wire[0] == "dropped":
+                fault = _flt.TransientFault("link_dead", src, dst_rank)
+            else:
+                corruption = wire[1]
+    if fault is not None:
+        # Request lost before the op was applied — retry-safe: the
+        # fetch_add/swap never happened at the target.
+        detect = (
+            chaos.config.detect_delay if chaos_fault else _flt.FAULT_DETECT_DELAY
+        )
 
-            engine.schedule(
-                arrive + chaos.config.detect_delay - now, report_loss
-            )
-            return RmwOp(op, src, dst_rank, addr, event)
+        def report_loss(_a) -> None:
+            _return_credit()
+            ctx.post(CompletionItem(event, fault))
+
+        engine.schedule(arrive + detect - now, report_loss)
+        return RmwOp(op, src, dst_rank, addr, event)
+    protection = (
+        integ.protect(src, dst_rank, _operand_bytes(req))
+        if integ is not None
+        else None
+    )
+    budget = integ.config.max_retransmits if integ is not None else 0
+    # The request as the wire delivers it on the first attempt.
+    req_wire = req
+    if corruption is not None:
+        req_wire = dataclasses.replace(
+            req, operand=corrupt_int(req.operand, corruption.bit)
+        )
 
     if world.nic_amo_support:
         # What-if hardware path: the target NIC applies the op directly,
@@ -245,6 +285,24 @@ def rmw(
                     ),
                 )
                 return
+            if protection is not None:
+                verdict = integ.verify(
+                    src, dst_rank, protection[0], protection[1],
+                    _operand_bytes(req_wire),
+                )
+                if verdict == "corrupt":
+                    # NIC checksum reject: surfaced as a transient loss
+                    # (retry-safe — the op was never applied).
+                    engine.schedule(
+                        _flt.FAULT_DETECT_DELAY,
+                        lambda _a: ctx.post(CompletionItem(
+                            event,
+                            _flt.TransientFault("integrity", src, dst_rank),
+                        )),
+                    )
+                    return
+            elif req_wire is not req:
+                world.trace.incr("pami.silent_corruptions")
             if obs is not None:
                 sid = obs.record(
                     dst_rank, "net", "amo_service", f"nic_rmw.{req.op}",
@@ -252,7 +310,7 @@ def rmw(
                     src=req.src,
                 )
                 obs.register_event(event, sid)
-            old = _apply(world, req)
+            old = _apply(world, req_wire)
             hops = world.network.hops(dst_rank, src)
             engine.schedule(
                 hops * world.params.hop_latency,
@@ -261,6 +319,8 @@ def rmw(
 
         engine.schedule(done - now, hw_service)
         return RmwOp(op, src, dst_rank, addr, event)
+
+    attempts = [0]
 
     def deliver(_arg) -> None:
         if world.is_failed(src) or world.incarnations[src] != src_inc:
@@ -276,6 +336,49 @@ def rmw(
                 lambda _a: ctx.post(CompletionItem(event, _flt.Failure(dst_rank))),
             )
             return
+        attempts[0] += 1
+        cur = req_wire if attempts[0] == 1 else req
+        if 1 < attempts[0] <= budget and link_mode:
+            # Retransmits re-roll the wire over the *current* route; the
+            # attempt past the budget goes out clean (bounded loss).
+            wire = net.wire_fate(src, dst_rank, "rmw")
+            if wire is not None:
+                if wire[0] == "dropped":
+                    integ.count_retransmit(len(_operand_bytes(req)))
+                    engine.schedule(integ.config.retransmit_delay, deliver)
+                    return
+                cur = dataclasses.replace(
+                    req, operand=corrupt_int(req.operand, wire[1].bit)
+                )
+        if protection is not None:
+            verdict = integ.verify(
+                src, dst_rank, protection[0], protection[1], _operand_bytes(cur)
+            )
+            if verdict == "corrupt":
+                if attempts[0] > budget or (
+                    link_mode and net.route_blocked(src, dst_rank)
+                ):
+                    # Out of transport budget: hand the op back to the
+                    # ARMCI retry layer (retry-safe — never applied).
+                    world.trace.incr("armci.integrity.aborted")
+                    _return_credit()
+                    engine.schedule(
+                        _flt.FAULT_DETECT_DELAY,
+                        lambda _a: ctx.post(CompletionItem(
+                            event,
+                            _flt.TransientFault("integrity", src, dst_rank),
+                        )),
+                    )
+                    return
+                integ.count_retransmit(len(_operand_bytes(req)))
+                engine.schedule(integ.config.retransmit_delay, deliver)
+                return
+            if verdict == "duplicate":
+                _return_credit()
+                return
+        elif cur is not req:
+            # No integrity layer: the corrupted operand applies silently.
+            world.trace.incr("pami.silent_corruptions")
         # Resolve at delivery time (a respawned target has a fresh client).
         target_client = world.client(dst_rank)
         if target_context is not None:
@@ -284,7 +387,7 @@ def rmw(
             dst_ctx = target_client.progress_context()
         dst_ctx.post(
             RmwItem(
-                req, src, engine.now, credited=credited,
+                cur, src, engine.now, credited=credited,
                 parent_span=parent_span, src_inc=src_inc,
             )
         )

@@ -113,10 +113,18 @@ class PamiWorld:
         self._failure_listeners: list = []
         #: Chaos engine (transient fault injection); None = disabled.
         self.chaos = None
+        #: End-to-end integrity engine (:mod:`repro.pami.integrity`);
+        #: installed by the ARMCI job when ``ArmciConfig.integrity`` is
+        #: enabled, None otherwise — protected paths pay one ``is None``.
+        self.integrity = None
         if chaos is not None and chaos.enabled:
             from ..chaos import ChaosEngine
 
             self.chaos = ChaosEngine(chaos, self.trace)
+        if chaos is not None and getattr(chaos, "link_faults", ()):
+            self.enable_link_faults(seed=chaos.seed)
+            for lf in chaos.link_faults:
+                self.schedule_link_fault(lf)
         if fault_plan is not None:
             for crash in fault_plan.crashes:
                 if not 0 <= crash.rank < num_procs:
@@ -128,6 +136,93 @@ class PamiWorld:
                     crash.at - self.engine.now,
                     lambda _a, r=crash.rank: self.fail_rank(r),
                 )
+            for lf in getattr(fault_plan, "link_faults", ()):
+                self.schedule_link_fault(lf)
+
+    # ----------------------------------------------------- link faults
+
+    def enable_link_faults(self, seed: int = 0):
+        """Switch the network into link-fault mode (idempotent).
+
+        Builds the ground-truth :class:`~repro.topology.links.LinkState`
+        and a fault-aware :class:`~repro.topology.routing.RouteTable`
+        over it (the oracle view: routing reacts to faults instantly —
+        :meth:`install_health_monitor` swaps in the observed view).
+        Returns the link state.
+        """
+        net = self.network
+        if net.link_state is None:
+            from ..topology.links import LinkState
+            from ..topology.routing import RouteTable
+
+            link_state = LinkState(self.mapping.torus, seed=seed)
+            route_table = RouteTable(
+                self.mapping.torus, link_state, trace=self.trace
+            )
+            net.enable_link_faults(link_state, route_table)
+        return net.link_state
+
+    def install_health_monitor(self, config):
+        """Route on *observed* link health instead of ground truth.
+
+        The monitor feeds on wire observations, walks links through
+        ``ok -> suspect -> dead`` with hysteresis, and — when a link
+        death leaves ranks unreachable on every path — escalates those
+        ranks (and only those) to :meth:`fail_rank`.
+        """
+        link_state = self.enable_link_faults()
+        from ..machine.health import LinkHealthMonitor
+
+        monitor = LinkHealthMonitor(
+            self.engine, self.mapping.torus, link_state, config,
+            self.trace, anchor=self.network.node_of(0),
+        )
+        monitor.on_unreachable = self._fail_unreachable
+        self.network.install_health(monitor)
+        return monitor
+
+    def _fail_unreachable(self, nodes) -> None:
+        """Fail every live rank living on a fully-unreachable node."""
+        for rank in range(self.num_procs):
+            if rank not in self.failed_ranks and self.network.node_of(rank) in nodes:
+                self.trace.incr("net.ranks_unreachable")
+                self.fail_rank(rank)
+
+    def schedule_link_fault(self, fault) -> None:
+        """Queue one :class:`~repro.chaos.LinkFault` at its planned time.
+
+        The link coordinates are validated eagerly (bad plans fail at
+        construction, not mid-run).
+        """
+        link_state = self.enable_link_faults()
+        link_state.key(fault.a, fault.b)
+        self.engine.schedule(
+            fault.at - self.engine.now,
+            lambda _a, f=fault: self.apply_link_fault(f),
+        )
+
+    def apply_link_fault(self, fault) -> None:
+        """Apply one link fault to the ground-truth link state now."""
+        link_state = self.enable_link_faults()
+        if fault.kind == "kill":
+            link_state.kill(fault.a, fault.b)
+            self.trace.incr("chaos.link_kills")
+        elif fault.kind == "revive":
+            link = link_state.revive(fault.a, fault.b)
+            self.trace.incr("chaos.link_revives")
+            if self.network.health is not None:
+                self.network.health.note_link_revived(link)
+        elif fault.kind == "degrade":
+            link_state.degrade(fault.a, fault.b, fault.factor)
+            self.trace.incr("chaos.link_degrades")
+        elif fault.kind == "lossy":
+            link_state.set_lossy(fault.a, fault.b, fault.prob)
+            self.trace.incr("chaos.links_made_lossy")
+        elif fault.kind == "corrupt":
+            link_state.set_corrupting(fault.a, fault.b, fault.prob)
+            self.trace.incr("chaos.links_made_corrupting")
+        else:  # pragma: no cover - LinkFault validates kinds
+            raise PamiError(f"unknown link fault kind {fault.kind!r}")
 
     def client(self, rank: int) -> PamiClient:
         """Client of ``rank`` with bounds checking."""

@@ -1,15 +1,21 @@
 """Blue Gene/Q 5D-torus topology: geometry, rank mappings, routing."""
 
 from .torus import Torus
+from .links import Link, LinkState, enumerate_links, link_key
 from .mapping import RankMapping, abcdet_mapping
-from .routing import dimension_order_route
+from .routing import RouteTable, dimension_order_route
 from .partitions import partition_shape, KNOWN_PARTITIONS
 
 __all__ = [
     "KNOWN_PARTITIONS",
+    "Link",
+    "LinkState",
     "RankMapping",
+    "RouteTable",
     "Torus",
     "abcdet_mapping",
     "dimension_order_route",
+    "enumerate_links",
+    "link_key",
     "partition_shape",
 ]

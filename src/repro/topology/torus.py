@@ -108,6 +108,19 @@ class Torus:
                     result.append(t)
         return result
 
+    def links(self) -> tuple:
+        """All undirected links, canonically keyed and deduplicated.
+
+        Size-1 dimensions contribute nothing (self-links), size-2
+        dimensions one link per node pair (both wrap directions share
+        one wire), larger dimensions one link per node — so a torus with
+        all dimensions >= 3 has exactly ``ndim * num_nodes`` links. See
+        :func:`repro.topology.links.enumerate_links`.
+        """
+        from .links import enumerate_links
+
+        return enumerate_links(self)
+
     def bisection_links(self) -> int:
         """Links crossing a bisection along the largest dimension.
 
