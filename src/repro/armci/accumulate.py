@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import ArmciError
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import CompletionItem, PamiContext
 from ..pami.memory import as_u8
 from .handles import Handle
@@ -49,7 +49,7 @@ def nbacc(
     }
     if rt.flow_enabled:
         header["_credit"] = True
-    op = send_am(
+    op = rt.transport.send_am(
         ctx,
         dst,
         _ACC_REQUEST_ID,

@@ -59,6 +59,14 @@ class ArmciConfig:
 
     Parameters
     ----------
+    backend:
+        Communication backend the job runs over: ``"pami"`` (the paper's
+        Blue Gene/Q messaging layer) or ``"mpi3"`` (MPI-3 one-sided
+        windows — flush completion, limited native AMOs, emulated active
+        messages). ``None`` (default) resolves
+        :data:`repro.transport.DEFAULT_BACKEND`, itself ``"pami"``
+        unless the ``REPRO_ARMCI_BACKEND`` environment variable says
+        otherwise.
     async_thread:
         ``True`` = the paper's AT design: a dedicated SMT thread per
         process advances the progress context continuously. ``False`` =
@@ -146,6 +154,7 @@ class ArmciConfig:
         are injected, and not at all otherwise.
     """
 
+    backend: str | None = None
     async_thread: bool = False
     num_contexts: int = 1
     use_rdma: bool = True
@@ -165,6 +174,14 @@ class ArmciConfig:
     health: object | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            from ..transport import BACKENDS, is_known_backend
+
+            if not is_known_backend(self.backend):
+                raise ArmciError(
+                    f"unknown backend {self.backend!r}; "
+                    f"valid: {sorted(BACKENDS)}"
+                )
         if not isinstance(self.obs, ObsConfig):
             raise ArmciError(
                 f"obs must be an ObsConfig, got {type(self.obs).__name__}"

@@ -15,10 +15,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..errors import ResourceExhaustedError
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import CompletionItem, PamiContext, WorkItem
 from ..pami.memregion import MemoryRegion
-from ..pami.rma import rdma_get, rdma_put
 from .handles import Handle
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,13 +45,15 @@ def ensure_local_region(
     if region is not None:
         return region
     try:
-        region = yield from registry.create(base, seg_bytes)
+        region = yield from rt.transport.register_region(registry, base, seg_bytes)
     except ResourceExhaustedError:
         # Under pressure, cached remote handles are expendable: evicting
         # one frees a budget slot for this (local) registration.
         if rt.region_cache.evict_for_budget():
             try:
-                region = yield from registry.create(base, seg_bytes)
+                region = yield from rt.transport.register_region(
+                    registry, base, seg_bytes
+                )
             except ResourceExhaustedError:
                 rt.trace.incr("armci.local_region_create_failed")
                 return None
@@ -87,7 +88,7 @@ def resolve_remote_region(
         header = {"addr": addr, "nbytes": nbytes, "reply": reply, "reply_ctx": ctx}
         if rt.flow_enabled:
             header["_credit"] = True
-        op = send_am(ctx, dst, _REGION_QUERY_ID, header=header)
+        op = rt.transport.send_am(ctx, dst, _REGION_QUERY_ID, header=header)
         found = yield from ctx.wait_with_progress(reply, deadline=deadline)
         from ..pami.faults import check_completion
 
@@ -134,7 +135,7 @@ def nbput_rdma(
     handle: Handle,
 ) -> Handle:
     """Post the RDMA put; remote ack is tracked for fences."""
-    op = rdma_put(
+    op = rt.transport.rdma_put(
         rt.main_context, dst, local_addr, remote_addr, nbytes, want_remote_ack=True
     )
     handle.add_event(op.local_event)
@@ -153,7 +154,7 @@ def nbget_rdma(
     handle: Handle,
 ) -> Handle:
     """Post the RDMA get: truly one-sided, Eq. 7."""
-    op = rdma_get(rt.main_context, dst, remote_addr, local_addr, nbytes)
+    op = rt.transport.rdma_get(rt.main_context, dst, remote_addr, local_addr, nbytes)
     handle.add_event(op.local_event)
     rt.trace.incr("armci.get_rdma")
     return handle
@@ -203,7 +204,7 @@ def nbget_fallback(
     }
     if rt.flow_enabled:
         header["_credit"] = True
-    send_am(ctx, dst, _GET_REQUEST_ID, header=header)
+    rt.transport.send_am(ctx, dst, _GET_REQUEST_ID, header=header)
     handle.add_event(done)
     rt.trace.incr("armci.get_fallback")
     return handle
@@ -242,7 +243,7 @@ def nbput_fallback(
     header = {"addr": remote_addr, "ack": ack, "reply_ctx": ctx}
     if rt.flow_enabled:
         header["_credit"] = True
-    op = send_am(ctx, dst, _PUT_REQUEST_ID, header=header, payload=data)
+    op = rt.transport.send_am(ctx, dst, _PUT_REQUEST_ID, header=header, payload=data)
     handle.add_event(op.local_event)
     if rt.chaos_enabled:
         # Under chaos a lost PUT_REQUEST is reported on the ack cookie;

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..errors import ArmciError
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import CompletionItem, PamiContext
 from ..pami.faults import check_completion
 
@@ -117,7 +117,7 @@ def _await_messages(
 
 
 def _send(rt: "ArmciProcess", dst: int, key: tuple, value) -> Generator[Any, Any, None]:
-    op = send_am(
+    op = rt.transport.send_am(
         rt.main_context, dst, GROUP_MSG_ID,
         header={"key": list(key), "value": value},
     )

@@ -12,7 +12,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..errors import ArmciError
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import CompletionItem, PamiContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,7 +95,7 @@ def lock(rt: "ArmciProcess", mutex_id: int) -> Generator[Any, Any, None]:
     header = {"mutex": mutex_id, "grant": grant, "reply_ctx": ctx}
     if rt.flow_enabled:
         header["_credit"] = True
-    send_am(ctx, owner, _LOCK_REQUEST_ID, header=header)
+    rt.transport.send_am(ctx, owner, _LOCK_REQUEST_ID, header=header)
     granted = yield from ctx.wait_with_progress(grant, deadline=deadline)
     from ..pami.faults import check_completion
 
@@ -111,7 +111,7 @@ def unlock(rt: "ArmciProcess", mutex_id: int) -> Generator[Any, Any, None]:
     """Release a distributed mutex (fire-and-forget AM to the owner)."""
     owner = mutex_owner(mutex_id, rt.world.num_procs)
     ctx = rt.main_context
-    op = send_am(
+    op = rt.transport.send_am(
         ctx, owner, _UNLOCK_REQUEST_ID, header={"mutex": mutex_id}
     )
     yield from ctx.wait_with_progress(op.local_event)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import PamiContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,7 +53,7 @@ class NotifyBoard:
 def notify(rt: "ArmciProcess", dst: int) -> Generator[Any, Any, None]:
     """Send one notification to ``dst``, ordered after prior puts there."""
     ctx = rt.main_context
-    op = send_am(ctx, dst, NOTIFY_ID, header={})
+    op = rt.transport.send_am(ctx, dst, NOTIFY_ID, header={})
     yield from ctx.wait_with_progress(op.local_event)
     rt.trace.incr("armci.notifies_sent")
 

@@ -34,6 +34,9 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
     ("protocols", "armci.getv_pack", "vector gets (pack)"),
     ("protocols", "armci.accs", "accumulates"),
     ("protocols", "armci.rmws", "read-modify-writes"),
+    ("datapath", "transport.am_emulations", "active messages emulated (two-sided)"),
+    ("datapath", "transport.win_attach", "window attaches (registration)"),
+    ("datapath", "transport.amo_native", "AMOs completed natively (NIC)"),
     ("datapath", "armci.strided_rdma_ops", "strided RDMA ops posted"),
     ("datapath", "armci.vector_rdma_ops", "vector RDMA ops posted"),
     ("datapath", "armci.strided_chunks_coalesced", "strided chunks merged into runs"),
@@ -46,12 +49,14 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
     ("caches", "armci.region_cache_hits", "region cache hits"),
     ("caches", "armci.region_cache_misses", "region cache misses"),
     ("caches", "armci.region_cache_evictions", "region cache evictions"),
+    ("synchronization", "transport.flush_syncs", "flush round-trips (completion)"),
     ("synchronization", "armci.fences", "fences"),
     ("synchronization", "armci.fences_forced", "fences forced by reads"),
     ("synchronization", "armci.fences_avoided", "fences avoided (cs_mr)"),
     ("synchronization", "armci.barriers", "barriers"),
     ("synchronization", "armci.locks_acquired", "mutex acquisitions"),
     ("synchronization", "armci.notifies_sent", "notifications sent"),
+    ("resilience", "transport.amo_software_fallbacks", "AMOs emulated in software"),
     ("resilience", "armci.transient_retries", "transient faults retried"),
     ("resilience", "armci.retry_successes", "retries that succeeded"),
     ("resilience", "recover.failures_detected", "rank failures detected"),
@@ -100,7 +105,14 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
 def runtime_report(job: "ArmciJob") -> str:
     """Render the job's counters grouped by subsystem."""
     trace = job.trace
-    rows = []
+    caps = job.transport.capabilities
+    rows = [
+        [
+            "datapath",
+            "communication backend",
+            f"{caps.name} ({caps.completion} completion)",
+        ]
+    ]
     for section, key, label in _COUNTER_LAYOUT:
         value = trace.count(key)
         if value:

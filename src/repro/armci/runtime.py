@@ -35,12 +35,12 @@ from ..errors import (
     TransientFaultError,
 )
 from ..machine.bgq import BGQParams
-from ..pami.atomics import rmw as pami_rmw
 from ..pami.context import PamiContext, cancel_timer, deadline_timer
 from ..pami.faults import TransientFault, check_completion
 from ..pami.world import PamiWorld
 from ..sim.event import Event
 from ..sim.primitives import Delay, WaitAny
+from ..transport import create_transport
 from ..types import StridedDescriptor
 from . import accumulate as _acc
 from . import collectives as _coll
@@ -197,6 +197,9 @@ class ArmciJob:
                 link_state.key(lf.a, lf.b)
         self.engine = world.engine
         self.trace = world.trace
+        #: Communication backend (``repro.transport``): every wire-level
+        #: primitive the protocol layer issues goes through this object.
+        self.transport = create_transport(self.config.backend, world, self.config)
         #: Observability recorder (``repro.obs``), or ``None`` when
         #: ``config.obs.enabled`` is off — every instrumentation site in
         #: the stack is a single ``obs is None`` test in that case.
@@ -398,6 +401,7 @@ class ArmciProcess:
         self.engine = job.engine
         self.trace = job.trace
         self.config = job.config
+        self.transport = job.transport
         self.client = self.world.client(rank)
         params = self.world.params
         self.endpoints = EndpointCache(rank, params.endpoint_create_time, self.trace)
@@ -811,14 +815,18 @@ class ArmciProcess:
             addr = alloc.addr(self.rank)
             self.world.space(self.rank).map_at(addr, nbytes)
             if self.config.use_rdma and alloc.registered.get(self.rank):
-                yield from self.world.regions[self.rank].create(addr, nbytes)
+                yield from self.transport.register_region(
+                    self.world.regions[self.rank], addr, nbytes
+                )
             self.trace.incr("armci.mallocs_replayed")
             return alloc
         addr = self.world.space(self.rank).allocate(nbytes)
         registered = False
         if self.config.use_rdma:
             try:
-                yield from self.world.regions[self.rank].create(addr, nbytes)
+                yield from self.transport.register_region(
+                    self.world.regions[self.rank], addr, nbytes
+                )
                 registered = True
             except ResourceExhaustedError:
                 self.trace.incr("armci.malloc_region_failed")
@@ -1250,14 +1258,14 @@ class ArmciProcess:
                 self.rank, "main", "counter_wait", "rmw",
                 dst=dst, rmw_op=op, timeline="counter",
             )
-        # NIC-AMO what-if requests bypass context queues, so they take no
+        # Natively-serviced AMOs bypass context queues, so they take no
         # FIFO credit.
-        credited = self.flow_enabled and not self.world.nic_amo_support
+        credited = self.flow_enabled and not self.transport.rmw_is_native(op)
 
         def attempt():
             if credited:
                 yield from self._acquire_send_credit(dst, self._op_deadline(None))
-            pending = pami_rmw(
+            pending = self.transport.rmw(
                 self.main_context, dst, addr, op, operand, operand2,
                 credited=credited,
             )
@@ -1342,6 +1350,9 @@ class ArmciProcess:
         finally:
             if sid is not None:
                 self.obs.end(sid, acks=len(acks))
+        # Backends with flush completion (not per-op counters) pay their
+        # completion synchronization here; PAMI's is an empty generator.
+        yield from self.transport.fence_extra(self, dst)
         self.tracker.on_fence(dst)
         self._observe("on_fence", dst)
         self.trace.incr("armci.fences")

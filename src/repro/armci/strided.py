@@ -22,10 +22,9 @@ import numpy as np
 
 from ..errors import ArmciError
 from ..pami import faults as _flt
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import CompletionItem, PamiContext, WorkItem
 from ..pami.memory import as_u8
-from ..pami.rma import rdma_get, rdma_put
 from ..types import StridedDescriptor
 from .handles import Handle
 
@@ -95,7 +94,7 @@ def nbput_strided_zero_copy(
     ctx = rt.main_context
     ops = _rdma_ops(rt, desc)
     for src_off, dst_off, nbytes in ops:
-        op = rdma_put(
+        op = rt.transport.rdma_put(
             ctx, dst, local_base + src_off, remote_base + dst_off, nbytes,
             want_remote_ack=True,
         )
@@ -118,7 +117,9 @@ def nbget_strided_zero_copy(
     ctx = rt.main_context
     ops = _rdma_ops(rt, desc)
     for src_off, dst_off, nbytes in ops:
-        op = rdma_get(ctx, dst, remote_base + dst_off, local_base + src_off, nbytes)
+        op = rt.transport.rdma_get(
+            ctx, dst, remote_base + dst_off, local_base + src_off, nbytes
+        )
         handle.add_event(op.local_event)
     rt.trace.incr("armci.strided_rdma_ops", len(ops))
     rt.trace.incr("armci.gets_strided_zero_copy")
@@ -143,7 +144,10 @@ def nbput_strided_typed(
     """
     world = rt.world
     total = desc.shape.total_bytes
-    extra = desc.shape.num_chunks * world.params.typed_descriptor_time
+    extra = (
+        desc.shape.num_chunks * world.params.typed_descriptor_time
+        + rt.transport.rma_extra_occupancy
+    )
     data = _gather(world.space(rt.rank), local_base, desc, "src")
     timing = world.network.put_timing(rt.rank, dst, total, extra_occupancy=extra)
     engine = world.engine
@@ -213,7 +217,10 @@ def nbget_strided_typed(
     """Single typed-datatype get for tall-skinny patches."""
     world = rt.world
     total = desc.shape.total_bytes
-    extra = desc.shape.num_chunks * world.params.typed_descriptor_time
+    extra = (
+        desc.shape.num_chunks * world.params.typed_descriptor_time
+        + rt.transport.rma_extra_occupancy
+    )
     timing = world.network.get_timing(rt.rank, dst, total, extra_occupancy=extra)
     engine = world.engine
     now = engine.now
@@ -289,7 +296,7 @@ def nbput_strided_pack(
     }
     if rt.flow_enabled:
         header["_credit"] = True
-    op = send_am(
+    op = rt.transport.send_am(
         ctx,
         dst,
         _STRIDED_PACKED_PUT_ID,
@@ -375,7 +382,7 @@ def nbget_strided_pack(
     }
     if rt.flow_enabled:
         header["_credit"] = True
-    send_am(
+    rt.transport.send_am(
         ctx,
         dst,
         _STRIDED_PACKED_GET_ID,

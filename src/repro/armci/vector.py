@@ -20,10 +20,9 @@ import numpy as np
 
 from ..errors import ArmciError
 from ..pami import faults as _flt
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import CompletionItem, PamiContext, WorkItem
 from ..pami.memory import as_u8
-from ..pami.rma import rdma_get, rdma_put
 from .handles import Handle
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -137,7 +136,9 @@ def nbputv_zero_copy(
     ctx = rt.main_context
     ops = _vector_ops(rt, vec)
     for laddr, raddr, length in ops:
-        op = rdma_put(ctx, dst, laddr, raddr, length, want_remote_ack=True)
+        op = rt.transport.rdma_put(
+            ctx, dst, laddr, raddr, length, want_remote_ack=True
+        )
         handle.add_event(op.local_event)
         rt.track_write_ack(dst, op.remote_ack_event)
     rt.trace.incr("armci.vector_rdma_ops", len(ops))
@@ -152,7 +153,7 @@ def nbgetv_zero_copy(
     ctx = rt.main_context
     ops = _vector_ops(rt, vec)
     for laddr, raddr, length in ops:
-        op = rdma_get(ctx, dst, raddr, laddr, length)
+        op = rt.transport.rdma_get(ctx, dst, raddr, laddr, length)
         handle.add_event(op.local_event)
     rt.trace.incr("armci.vector_rdma_ops", len(ops))
     rt.trace.incr("armci.getv_zero_copy")
@@ -173,7 +174,10 @@ def nbputv_typed(
     data = [
         space.snapshot(a, n) for a, n in zip(vec.local_addrs, vec.lengths)
     ]
-    extra = vec.num_segments * world.params.typed_descriptor_time
+    extra = (
+        vec.num_segments * world.params.typed_descriptor_time
+        + rt.transport.rma_extra_occupancy
+    )
     timing = world.network.put_timing(
         rt.rank, dst, vec.total_bytes, extra_occupancy=extra
     )
@@ -276,7 +280,7 @@ def nbputv_pack(
     }
     if rt.flow_enabled:
         header["_credit"] = True
-    op = send_am(
+    op = rt.transport.send_am(
         ctx,
         dst,
         _VECTOR_PUT_ID,
@@ -348,7 +352,7 @@ def nbgetv_pack(
     }
     if rt.flow_enabled:
         header["_credit"] = True
-    send_am(
+    rt.transport.send_am(
         ctx,
         dst,
         _VECTOR_GET_ID,

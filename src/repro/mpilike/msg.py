@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
-from ..pami.activemsg import AmEnvelope, send_am
+from ..pami.activemsg import AmEnvelope
 from ..pami.context import PamiContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,7 +75,7 @@ def send(
     rt: "ArmciProcess", dst: int, tag: int, payload: bytes
 ) -> Generator[Any, Any, None]:
     """Blocking eager send: returns when the send buffer is reusable."""
-    op = send_am(
+    op = rt.transport.send_am(
         rt.main_context, dst, MSG_ID, header={"tag": tag}, payload=bytes(payload)
     )
     yield from rt.main_context.wait_with_progress(op.local_event)

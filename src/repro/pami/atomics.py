@@ -178,6 +178,7 @@ def rmw(
     operand2: int = 0,
     target_context: int | None = None,
     credited: bool = False,
+    nic: bool | None = None,
 ) -> RmwOp:
     """Post a non-blocking read-modify-write on ``(dst_rank, addr)``.
 
@@ -191,6 +192,11 @@ def rmw(
     credited:
         The sender holds a flow-control credit against the target's
         progress context; servicing (or losing) the request returns it.
+    nic:
+        Per-op override of the hardware-serviced path: ``True`` forces
+        NIC service, ``False`` forces target-side software, ``None``
+        (default) follows ``world.nic_amo_support``. Backends with a
+        *partial* native AMO set (MPI-3) route each opcode accordingly.
 
     Returns
     -------
@@ -271,7 +277,8 @@ def rmw(
             req, operand=corrupt_int(req.operand, corruption.bit)
         )
 
-    if world.nic_amo_support:
+    use_nic = world.nic_amo_support if nic is None else nic
+    if use_nic:
         # What-if hardware path: the target NIC applies the op directly,
         # serialized only by the NIC's AMO pipeline — no software progress.
         done = world.nic_amo_slot(dst_rank, arrive, NIC_AMO_SERVICE)

@@ -271,6 +271,7 @@ def target_lock(
     policy: str = "random",
     tracker: str = "cs_mr",
     limit: int | None = None,
+    config_overrides: dict | None = None,
 ) -> FuzzResult:
     """Mutex-protected shared counter: the classic fetch-update-put
     critical section, fence before unlock.
@@ -310,7 +311,9 @@ def target_lock(
                 )
         yield from rt.barrier()
 
-    job, oracle = _make_job(p, seed, policy, tracker, limit)
+    job, oracle = _make_job(
+        p, seed, policy, tracker, limit, config_overrides=config_overrides
+    )
     failures: list[str] = []
     try:
         job.run(body)
@@ -324,6 +327,7 @@ def target_chaos(
     policy: str = "random",
     tracker: str = "cs_mr",
     limit: int | None = None,
+    config_overrides: dict | None = None,
 ) -> FuzzResult:
     """Accumulates + reads under light chaos injection.
 
@@ -360,7 +364,8 @@ def target_chaos(
         yield from rt.barrier()
 
     job, oracle = _make_job(
-        p, seed, policy, tracker, limit, chaos=ChaosConfig.light(seed)
+        p, seed, policy, tracker, limit, chaos=ChaosConfig.light(seed),
+        config_overrides=config_overrides,
     )
     failures: list[str] = []
     try:
@@ -447,17 +452,23 @@ def explore(
     seeds: int = 10,
     policies: tuple[str, ...] = ("random", "pct"),
     tracker: str = "cs_mr",
+    config_overrides: dict | None = None,
 ) -> list[FuzzResult]:
     """Run every target across ``seeds`` seeds per policy.
 
-    Returns all results; callers assert on failures and count distinct
-    schedules via ``{r.digest for r in results}``.
+    ``config_overrides`` is forwarded to every target (e.g.
+    ``{"backend": "mpi3"}`` fuzzes the whole matrix over another
+    transport). Returns all results; callers assert on failures and
+    count distinct schedules via ``{r.digest for r in results}``.
     """
     results = []
     for name, target in (targets or FUZZ_TARGETS).items():
         for policy in policies:
             for seed in range(seeds):
                 results.append(
-                    target(seed, policy=policy, tracker=tracker)
+                    target(
+                        seed, policy=policy, tracker=tracker,
+                        config_overrides=config_overrides,
+                    )
                 )
     return results

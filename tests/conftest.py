@@ -40,6 +40,26 @@ def run_ranks(world: PamiWorld, body_fn, ranks=None) -> list:
     return world.engine.run_until_complete(procs)
 
 
+@pytest.fixture(params=["pami", "mpi3"], scope="module")
+def backend(request):
+    """Run the decorated module once per communication backend.
+
+    Re-points :data:`repro.transport.DEFAULT_BACKEND` so every job built
+    with ``ArmciConfig(backend=None)`` — i.e. all existing tests,
+    unmodified — lands on the parameterized backend. Core ARMCI test
+    modules opt in with ``pytestmark = pytest.mark.usefixtures("backend")``,
+    turning them into the cross-backend conformance suite. Module scope
+    keeps hypothesis-based property tests eligible (function-scoped
+    fixtures trip its health check) and batches each module per backend.
+    """
+    import repro.transport as transport
+
+    mp = pytest.MonkeyPatch()
+    mp.setattr(transport, "DEFAULT_BACKEND", request.param)
+    yield request.param
+    mp.undo()
+
+
 @pytest.fixture
 def world2():
     """Two processes on two adjacent nodes (internode traffic)."""

@@ -11,6 +11,10 @@ from repro.armci.handles import Handle
 from repro.pami.memregion import MemoryRegion
 from repro.sim import Engine, Trace
 
+#: Conformance suite: every test in this module runs once per backend
+#: (the ``backend`` fixture re-points ``repro.transport.DEFAULT_BACKEND``).
+pytestmark = pytest.mark.usefixtures("backend")
+
 
 class TestConfig:
     def test_defaults(self):

@@ -7,6 +7,10 @@ from repro.armci import ArmciConfig, ArmciJob
 from repro.errors import ArmciError
 from repro.types import StridedDescriptor, StridedShape
 
+#: Conformance suite: every test in this module runs once per backend
+#: (the ``backend`` fixture re-points ``repro.transport.DEFAULT_BACKEND``).
+pytestmark = pytest.mark.usefixtures("backend")
+
 
 def make_job(num_procs=2, config=None, **kwargs):
     job = ArmciJob(

@@ -8,6 +8,10 @@ from repro.armci import ArmciConfig, ArmciJob
 from repro.armci.vector import IoVector
 from repro.errors import ArmciError
 
+#: Conformance suite: every test in this module runs once per backend
+#: (the ``backend`` fixture re-points ``repro.transport.DEFAULT_BACKEND``).
+pytestmark = pytest.mark.usefixtures("backend")
+
 
 def make_job(num_procs=2, config=None, **kwargs):
     job = ArmciJob(

@@ -8,6 +8,10 @@ from repro.errors import ArmciError, PamiError
 from repro.pami.ordering import OrderingChecker
 from repro.sim import Delay, Engine
 
+#: Conformance suite: every test in this module runs once per backend
+#: (the ``backend`` fixture re-points ``repro.transport.DEFAULT_BACKEND``).
+pytestmark = pytest.mark.usefixtures("backend")
+
 
 class TestHardwareBarrier:
     def test_releases_after_all_arrive(self):

@@ -7,6 +7,10 @@ from hypothesis import strategies as st
 
 from repro.armci import ArmciConfig, ArmciJob
 
+#: Conformance suite: every test in this module runs once per backend
+#: (the ``backend`` fixture re-points ``repro.transport.DEFAULT_BACKEND``).
+pytestmark = pytest.mark.usefixtures("backend")
+
 
 def make_job(num_procs=2, **kwargs):
     job = ArmciJob(
