@@ -6,7 +6,21 @@ on-demand connection work on InfiniBand). With alpha = 4 B and beta =
 0.3 us per endpoint (Eqs. 3-4), even a full clique of 4096 peers costs
 16 KB and ~1.2 ms per process — the paper's scalability argument,
 reproduced by measuring the cache as a random-peers workload runs.
+
+Run as a script for the **sharded-PDES scaling harness**: a clique
+workload at 10^4+ simulated ranks swept over ``--shards``, in strong-
+(fixed ranks) or weak-scaling mode (``--weak-scaling``: ranks grow with
+shards). Emits ``BENCH_pdes_scaling.json`` at the repo root and
+asserts sharded runs match the single-engine oracle digest::
+
+    python benchmarks/bench_clique_growth.py --shards 1,2,4 --ranks 10000
 """
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
 
 from _report import save
 
@@ -14,6 +28,11 @@ from repro.armci import ArmciConfig, ArmciJob
 from repro.util import render_table, us
 
 PROCS = 64
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+# Committed at the repo root (benchmarks/results/ is gitignored), next
+# to BENCH_host_perf.json — the perf-trajectory artifacts.
+SCALING_OUTPUT = Path(__file__).parent.parent / "BENCH_pdes_scaling.json"
 
 
 def _run() -> list[tuple[int, int, int, float]]:
@@ -77,3 +96,159 @@ def test_clique_growth(benchmark):
             ),
         ),
     )
+
+
+# ----------------------------------------------- sharded-PDES scaling CLI
+
+
+def run_pdes_scaling(
+    shards_list: list[int],
+    ranks: int,
+    ops: int,
+    weak_scaling: bool,
+    mode: str,
+    seed: int,
+) -> dict:
+    """Sweep the PDES clique workload over shard counts.
+
+    Strong scaling keeps the rank count fixed, so every row must
+    reproduce the single-engine oracle's schedule digest and workload
+    results exactly (asserted). Weak scaling grows ranks linearly with
+    shards; each row records its own digest.
+    """
+    from repro.sim.parallel import make_factory, run_program
+
+    rows = []
+    reference = {}  # rank count -> (digest, results) of the first run
+    for shards in shards_list:
+        n = ranks * shards if weak_scaling else ranks
+        run_mode = "single" if shards == 1 else mode
+        result = run_program(
+            make_factory("clique", n, ops=ops, seed=seed),
+            n,
+            shards=shards,
+            mode=run_mode,
+        )
+        ref = reference.get(n)
+        if ref is None:
+            reference[n] = (result.schedule_digest, result.results)
+        else:
+            assert result.schedule_digest == ref[0], (
+                f"shards={shards} diverged from the oracle digest "
+                f"({result.schedule_digest:#x} vs {ref[0]:#x})"
+            )
+            assert result.results == ref[1], (
+                f"shards={shards} diverged from the oracle workload results"
+            )
+        rows.append(
+            {
+                "shards": shards,
+                "ranks": n,
+                "mode": result.mode,
+                "events": result.events_executed,
+                "delivered": result.delivered,
+                "epochs": result.epochs,
+                "lookahead_us": result.lookahead * 1e6,
+                "wall_seconds": round(result.wall_seconds, 4),
+                "events_per_sec": round(result.events_per_sec, 1),
+            }
+        )
+    base = rows[0]["events_per_sec"]
+    for row in rows:
+        row["speedup_vs_1shard"] = round(row["events_per_sec"] / base, 3)
+    return {
+        "workload": "clique",
+        "scaling": "weak" if weak_scaling else "strong",
+        "ranks_base": ranks,
+        "ops_per_rank": ops,
+        "seed": seed,
+        "host_cores": os.cpu_count(),
+        "smoke": SMOKE,
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts to sweep (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=512 if SMOKE else 10_000,
+        help="simulated ranks (per shard in weak-scaling mode)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=4 if SMOKE else 8,
+        help="clique operations per rank",
+    )
+    parser.add_argument(
+        "--weak-scaling", action="store_true",
+        help="grow ranks linearly with shards instead of fixing them",
+    )
+    parser.add_argument(
+        "--mode", default="fork", choices=("fork", "inline"),
+        help="multi-shard execution mode (default fork)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check-scaling", action="store_true",
+        help="require >=2x events/sec at 4 shards (skipped below 4 host "
+        "cores or 10^4 ranks — the acceptance bar targets a 4-core host)",
+    )
+    args = parser.parse_args()
+    shards_list = [int(s) for s in args.shards.split(",") if s]
+
+    payload = run_pdes_scaling(
+        shards_list, args.ranks, args.ops, args.weak_scaling, args.mode, args.seed
+    )
+    SCALING_OUTPUT.parent.mkdir(exist_ok=True)
+    SCALING_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table_rows = [
+        [
+            row["shards"], row["ranks"], row["mode"], row["events"],
+            row["epochs"], f"{row['wall_seconds']:.3f}",
+            f"{row['events_per_sec']:,.0f}", f"{row['speedup_vs_1shard']:.2f}x",
+        ]
+        for row in payload["rows"]
+    ]
+    table = render_table(
+        ["shards", "ranks", "mode", "events", "epochs", "wall (s)",
+         "events/s", "speedup"],
+        table_rows,
+        title=(
+            f"Sharded-PDES clique {payload['scaling']} scaling "
+            f"({payload['host_cores']} host core(s)"
+            f"{', smoke' if SMOKE else ''})"
+        ),
+    )
+    print(table)
+    save("clique_growth_scaling", table)
+    print(f"wrote {SCALING_OUTPUT}")
+
+    if args.check_scaling:
+        cores = os.cpu_count() or 1
+        by_shards = {row["shards"]: row for row in payload["rows"]}
+        if cores < 4:
+            print(f"scaling check skipped: host has {cores} core(s), needs 4")
+        elif 4 not in by_shards or 1 not in by_shards:
+            print("scaling check skipped: sweep must include shards 1 and 4")
+        elif by_shards[4]["ranks"] < 10_000:
+            print("scaling check skipped: needs >= 10^4 simulated ranks")
+        elif by_shards[4]["speedup_vs_1shard"] < 2.0:
+            print(
+                f"FAIL: shards=4 reached only "
+                f"{by_shards[4]['speedup_vs_1shard']:.2f}x (need >= 2x)"
+            )
+            return 1
+        else:
+            print(
+                f"scaling check passed: "
+                f"{by_shards[4]['speedup_vs_1shard']:.2f}x at 4 shards"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -178,6 +178,59 @@ def run_vector(coalesce: bool):
     }
 
 
+#: Sharded-PDES section sizing (clique workload on the parallel engine).
+PDES_RANKS = 256 if SMOKE else 4096
+PDES_OPS = 4 if SMOKE else 6
+PDES_SHARDS = (1, 2) if SMOKE else (1, 2, 4)
+
+
+def run_pdes():
+    """Sharded-PDES engine: wall-clock and events/sec per shard count.
+
+    Runs the deterministic clique workload on ``repro.sim.parallel``
+    across shard counts (fork mode above one shard) and verifies every
+    sharded run reproduces the single-engine oracle digest. Purely
+    additive: the shards=1 oracle is the classic engine, so the existing
+    regression gate (which only reads the four fixed workload names)
+    stays like-for-like.
+    """
+    from repro.sim.parallel import make_factory, run_program
+
+    section = {
+        "ranks": PDES_RANKS,
+        "ops_per_rank": PDES_OPS,
+        "host_cores": os.cpu_count(),
+        "per_shards": {},
+    }
+    oracle_digest = None
+    for shards in PDES_SHARDS:
+        def once():
+            return run_program(
+                make_factory("clique", PDES_RANKS, ops=PDES_OPS, seed=0),
+                PDES_RANKS,
+                shards=shards,
+                mode="single" if shards == 1 else "fork",
+            )
+
+        seconds, result = _time(once)
+        if oracle_digest is None:
+            oracle_digest = result.schedule_digest
+        elif result.schedule_digest != oracle_digest:
+            raise AssertionError(
+                f"pdes shards={shards} diverged from the oracle digest"
+            )
+        section["per_shards"][str(shards)] = {
+            "seconds": seconds,
+            "events": result.events_executed,
+            "events_per_sec": result.events_executed / seconds,
+            "epochs": result.epochs,
+        }
+    base = section["per_shards"][str(PDES_SHARDS[0])]["events_per_sec"]
+    for node in section["per_shards"].values():
+        node["speedup_vs_1shard"] = node["events_per_sec"] / base
+    return section
+
+
 def run_scf():
     """One miniature SCF iteration (fig-11 workload, smoke-sized)."""
     from repro.apps.nwchem.scf import ScfConfig, run_scf
@@ -245,6 +298,7 @@ def main() -> int:
         "strided": {"baseline": run_strided(False), "optimized": run_strided(True)},
         "vector": {"baseline": run_vector(False), "optimized": run_vector(True)},
         "scf": run_scf(),
+        "pdes": run_pdes(),
     }
     for name in ("strided", "vector"):
         base = results[name]["baseline"]
@@ -284,6 +338,13 @@ def main() -> int:
             f"{results[name]['baseline']['ops_per_sec']:.0f}",
             f"{results[name]['optimized']['ops_per_sec']:.0f}",
             f"{results[name]['speedup_vs_baseline']:.1f}x",
+        ])
+    for shards, node in results["pdes"]["per_shards"].items():
+        rows.append([
+            f"pdes shards={shards}",
+            "-",
+            f"{node['events_per_sec']:.0f} ev/s",
+            f"{node['speedup_vs_1shard']:.2f}x",
         ])
     table = render_table(
         ["workload", "ops/s (coalesce off)", "ops/s (coalesce on)", "speedup"],

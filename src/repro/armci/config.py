@@ -143,6 +143,15 @@ class ArmciConfig:
         of corrupted transfers). ``None`` (the default) or a disabled
         config keeps the protection off — silent in-flight corruption
         (``corrupt_mode="payload"`` chaos, corrupting links) then lands.
+    shards:
+        PDES shard count for the job's simulation backend. ``1`` (the
+        default) runs the classic single engine and is byte-identical
+        to every prior release. Values above 1 attach a
+        :class:`~repro.sim.parallel.ShardPlan` (torus-geometry rank
+        partition + conservative lookahead) to the job as
+        ``job.shard_plan``; scale-hungry drivers hand that plan to
+        :func:`repro.sim.parallel.run_program` to execute wire-level
+        rank programs across worker processes.
     health:
         :class:`~repro.machine.health.LinkHealthConfig` link health
         monitoring switches. Enabled, the job routes on *observed* link
@@ -172,6 +181,7 @@ class ArmciConfig:
     recovery: object | None = None
     integrity: object | None = None
     health: object | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -256,6 +266,8 @@ class ArmciConfig:
                 f"watchdog_period must be > 0 or None, got "
                 f"{self.watchdog_period}"
             )
+        if self.shards < 1:
+            raise ArmciError(f"shards must be >= 1, got {self.shards}")
         if self.watchdog_period is not None and not self.async_thread:
             raise ArmciError(
                 "watchdog_period requires async_thread=True (the watchdog "

@@ -246,6 +246,23 @@ class ArmciJob:
         self.health = None
         if self.config.health is not None and self.config.health.enabled:
             self.health = world.install_health_monitor(self.config.health)
+        #: PDES shard plan (``repro.sim.parallel``), or ``None`` for the
+        #: classic single-engine job (``config.shards == 1``, the
+        #: default — byte-identical to prior releases). The plan carries
+        #: the torus-geometry rank partition and the conservative
+        #: lookahead; sharded drivers hand it (plus the job's mapping
+        #: and params) to ``repro.sim.parallel.run_program``.
+        self.shard_plan = None
+        if self.config.shards > 1:
+            from ..sim.parallel import plan_shards
+
+            self.shard_plan = plan_shards(
+                world.mapping,
+                self.config.shards,
+                world.params,
+                num_ranks=num_procs,
+            )
+            self.trace.incr("pdes.shards", self.config.shards)
 
     @property
     def num_procs(self) -> int:

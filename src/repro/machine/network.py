@@ -101,6 +101,62 @@ class TorusNetwork:
         # monotone (head-of-line blocking on the new route).
         self._last_deliver: dict[tuple[int, int], float] = {}
 
+    #: Mutable per-run state: NIC/link clocks and memo caches. Listed in
+    #: one place so shard isolation (clear/clone/pickle) cannot silently
+    #: miss a cache added later.
+    _MUTABLE_CACHES = (
+        "_inject_free",
+        "_node_cache",
+        "_hops_cache",
+        "_link_free",
+        "_route_cache",
+        "_fault_route_cache",
+        "_last_deliver",
+    )
+
+    # ------------------------------------------------- shard isolation
+
+    def clear_caches(self) -> None:
+        """Reset every mutable cache (FIFO clocks, memo tables).
+
+        Geometry memo caches (`node_of`/`hops`/routes) are pure and only
+        cleared for hygiene; the FIFO/link clocks and the ordered-delivery
+        high-water marks are genuine simulation state and must start
+        empty in any new execution context (a shard worker, a re-run).
+        """
+        for name in self._MUTABLE_CACHES:
+            getattr(self, name).clear()
+
+    def shard_clone(self, engine: Engine, trace: Trace | None = None) -> "TorusNetwork":
+        """Fresh network over the same geometry, bound to ``engine``.
+
+        The sharded PDES runtime gives each worker its own instance so
+        no dict is ever mutated from two shards: only the immutable
+        inputs (mapping, params) are shared; every mutable cache starts
+        empty. Link-fault mode is deliberately not carried over — the
+        parallel runtime models chaos at the program layer.
+        """
+        return TorusNetwork(
+            engine,
+            self.mapping,
+            self.params,
+            trace=trace,
+            link_contention=self.link_contention,
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle support for shard workers: drop the engine binding and
+        ship every mutable cache *empty* (a pickled network never leaks
+        FIFO/route state into another process)."""
+        state = self.__dict__.copy()
+        state["engine"] = None
+        for name in self._MUTABLE_CACHES:
+            state[name] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------ helpers
 
     def node_of(self, rank: int) -> tuple[int, ...]:

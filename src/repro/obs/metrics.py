@@ -63,6 +63,12 @@ class Counter:
         if rank is not None:
             self.per_rank[rank] = self.per_rank.get(rank, 0) + amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's totals in (additive, per-rank included)."""
+        self.total += other.total
+        for rank, v in other.per_rank.items():
+            self.per_rank[rank] = self.per_rank.get(rank, 0) + v
+
 
 class Gauge:
     """Last-value gauge with optional per-rank breakdown."""
@@ -77,6 +83,18 @@ class Gauge:
         self.value = value
         if rank is not None:
             self.per_rank[rank] = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in, keeping the maximum observed value.
+
+        Gauges from disjoint shards have no meaningful "last" ordering,
+        so the merge is the conservative high-water mark; per-rank
+        entries are disjoint across shards and copy straight over.
+        """
+        self.value = max(self.value, other.value)
+        for rank, v in other.per_rank.items():
+            cur = self.per_rank.get(rank)
+            self.per_rank[rank] = v if cur is None else max(cur, v)
 
 
 class Histogram:
@@ -157,6 +175,14 @@ class Histogram:
             self.max = other.max
         if self._raw is not None and other._raw is not None:
             self._raw.extend(other._raw)
+        if other._per_rank:
+            if self._per_rank is None:
+                self._per_rank = {}
+            for rank, sub in other._per_rank.items():
+                mine = self._per_rank.get(rank)
+                if mine is None:
+                    mine = self._per_rank[rank] = Histogram(keep_raw=sub.keep_raw)
+                mine.merge(sub)
 
     def per_rank(self) -> dict[int, "Histogram"]:
         """Per-rank sub-histograms (empty if ``rank=`` was never used)."""
@@ -201,6 +227,21 @@ class MetricsRegistry:
         if h is None:
             h = self._histograms[name] = Histogram(keep_raw=keep_raw)
         return h
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments in, matched by name.
+
+        The per-shard metrics merge of the parallel PDES runtime: each
+        shard records into its own registry (no cross-process sharing);
+        the runner merges them into one job-wide view. Counters add,
+        gauges keep the high-water mark, histograms combine buckets.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).merge(c)
+        for name, g in other._gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other._histograms.items():
+            self.histogram(name, keep_raw=h.keep_raw).merge(h)
 
     def snapshot(self, per_rank: bool = False) -> dict:
         """Point-in-time plain-dict view, keys sorted for stable JSON."""

@@ -281,6 +281,61 @@ class Engine:
         """Run ``callback(arg)`` after ``delay`` seconds of simulated time."""
         self._push(delay, callback, arg)
 
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        arg: Any = None,
+        key: Any = None,
+    ) -> None:
+        """Schedule ``callback(arg)`` at *absolute* simulated time ``time``.
+
+        The remote-event injection hook of the sharded PDES runtime
+        (:mod:`repro.sim.parallel`): events received from another shard
+        carry an absolute delivery timestamp and a content-derived
+        tie-break ``key`` — typically ``(src_rank, seq)`` — so that
+        equal-timestamp deliveries execute in an order independent of
+        the arrival interleaving (and therefore of the shard count).
+        ``key=None`` falls back to the submission sequence number (or
+        the configured policy), exactly like :meth:`schedule`.
+
+        Keyed and unkeyed entries must not be mixed at equal timestamps
+        within one engine (their keys are not mutually comparable); the
+        parallel runtime schedules *everything* keyed.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (t={time}, now={self._now})"
+            )
+        if not callable(callback):
+            raise SimulationError(
+                f"scheduled callback must be callable, got {type(callback).__name__}"
+            )
+        if key is None:
+            seq = next(self._seq)
+            key = seq if self._policy is None else self._policy.key(seq)
+        heapq.heappush(self._heap, (time, key, callback, arg))
+
+    def next_event_time(self) -> float | None:
+        """Earliest pending entry's time, or ``None`` when idle.
+
+        The GVT/epoch-advance hook of the sharded PDES runtime: after an
+        epoch's window drains, every shard reports this value and the
+        next window starts at the global minimum. Cancelled
+        :class:`Timer` entries are discarded while peeking (they would
+        otherwise report a time that will never execute).
+        """
+        if self._fast:
+            return self._now
+        heap = self._heap
+        while heap:
+            time, _key, callback, _arg = heap[0]
+            if isinstance(callback, Timer) and callback.cancelled:
+                heapq.heappop(heap)
+                continue
+            return time
+        return None
+
     def schedule_timer(
         self, delay: float, callback: Callable[[Any], None], arg: Any = None
     ) -> Timer:
@@ -324,7 +379,7 @@ class Engine:
                 error.__cause__ = cause
             self._failure = error
 
-    def run(self, until: float | None = None) -> float:
+    def run(self, until: float | None = None, exclusive: bool = False) -> float:
         """Execute scheduled work until the heap drains or ``until`` passes.
 
         Returns the final simulated time. Re-raises the first process
@@ -332,6 +387,12 @@ class Engine:
         without executing, advancing the clock, or counting toward
         :attr:`events_executed` — under any tie-breaking policy
         (``isinstance``, so Timer subclasses are covered too).
+
+        ``exclusive=True`` stops *before* executing any entry at exactly
+        ``until`` (half-open window ``[now, until)``) — the epoch-window
+        primitive of the sharded PDES runtime, whose conservative
+        horizon ``gvt + lookahead`` must not be crossed. The default
+        (inclusive) behaviour is unchanged.
         """
         track = self._policy is not None or self._record
         fast = self._fast
@@ -346,7 +407,9 @@ class Engine:
                 or self._heap[0][0] > self._now
                 or self._heap[0][1] > fast[0][0]
             ):
-                if until is not None and self._now > until:
+                if until is not None and (
+                    self._now > until or (exclusive and self._now >= until)
+                ):
                     self._now = until
                     return self._now
                 _seq, callback, arg = fast.popleft()
@@ -359,7 +422,7 @@ class Engine:
             if isinstance(callback, Timer) and callback.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if until is not None and time > until:
+            if until is not None and (time > until or (exclusive and time >= until)):
                 self._now = until
                 return self._now
             heapq.heappop(self._heap)

@@ -1,0 +1,51 @@
+"""Sharded conservative parallel discrete-event simulation (PDES).
+
+Partitions simulated ranks across shards — each with its own
+:class:`~repro.sim.engine.Engine` and :class:`~repro.machine.network.TorusNetwork`
+clone — and synchronizes them with epoch-based conservative windows whose
+lookahead comes from the torus geometry (minimum per-hop latency on any
+cut link). Cross-shard events travel through per-pair rings: plain deques
+in inline mode, ``multiprocessing.shared_memory`` SPSC rings between
+forked workers.
+
+The single-shard engine is untouched and remains the bit-exact reference
+oracle: ``run_program(..., shards=1)`` executes the same keyed event
+stream on one engine, and the fuzz suite checks that its schedule digest
+and workload results exactly match every multi-shard run.
+
+See DESIGN.md §16 for the protocol and its safety argument.
+"""
+
+from .partition import (
+    ShardPlan,
+    plan_shards,
+    rank_weights_from_critical_path,
+)
+from .program import ChaosSpec, RankProgram, ShardRuntime
+from .rings import LocalRing, ShmRing
+from .runner import PdesResult, run_program
+from .workloads import (
+    ChaosCliqueProgram,
+    CliqueProgram,
+    HaloProgram,
+    ScfLiteProgram,
+    make_factory,
+)
+
+__all__ = [
+    "ChaosCliqueProgram",
+    "ChaosSpec",
+    "CliqueProgram",
+    "HaloProgram",
+    "LocalRing",
+    "PdesResult",
+    "RankProgram",
+    "ScfLiteProgram",
+    "ShardPlan",
+    "ShardRuntime",
+    "ShmRing",
+    "make_factory",
+    "plan_shards",
+    "rank_weights_from_critical_path",
+    "run_program",
+]

@@ -1,0 +1,182 @@
+"""Shard partitioning from torus geometry, and the lookahead it buys.
+
+Shards own contiguous rank blocks. Under the paper's ABCDET mapping
+(rightmost letter = within-node slot varies fastest) a contiguous block
+whose boundaries are multiples of ``procs_per_node`` never splits a
+compute node, so every cross-shard message crosses at least one torus
+link and the conservative lookahead is the full off-node minimum
+(``am_send_overhead + hop_latency``). Boundaries that cut through a node
+drop the lookahead to the intra-node latency instead — still correct,
+just smaller epochs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from ...errors import PdesError
+from ...machine.bgq import BGQParams
+from ...topology.mapping import RankMapping
+
+#: Fraction of the raw minimum cross-shard delay used as the lookahead.
+#: Strictly below 1 so that accumulated float rounding in multi-term
+#: delivery-time sums can never land a cross-shard event underneath the
+#: epoch horizon. Underestimating lookahead is always safe — it only
+#: shortens the windows.
+LOOKAHEAD_SAFETY = 0.9
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition of ranks ``[0, num_ranks)`` into contiguous shard blocks.
+
+    Attributes
+    ----------
+    bounds:
+        ``shards + 1`` monotonically increasing rank boundaries;
+        shard ``i`` owns ``range(bounds[i], bounds[i+1])``.
+    lookahead:
+        Conservative-synchronization lookahead in simulated seconds: no
+        event sent at time ``t`` by one shard can affect another shard
+        before ``t + lookahead``.
+    node_aligned:
+        True when no compute node is split across shards (every cut
+        link is a real torus link).
+    """
+
+    bounds: tuple[int, ...]
+    lookahead: float
+    node_aligned: bool
+
+    @property
+    def shards(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def num_ranks(self) -> int:
+        return self.bounds[-1]
+
+    def shard_of(self, rank: int) -> int:
+        """Shard owning ``rank``."""
+        if not 0 <= rank < self.num_ranks:
+            raise PdesError(f"rank {rank} outside plan [0, {self.num_ranks})")
+        return bisect_right(self.bounds, rank) - 1
+
+    def ranks_of(self, shard: int) -> range:
+        """Ranks owned by ``shard``."""
+        if not 0 <= shard < self.shards:
+            raise PdesError(f"shard {shard} outside plan [0, {self.shards})")
+        return range(self.bounds[shard], self.bounds[shard + 1])
+
+    def describe(self) -> str:
+        sizes = [
+            self.bounds[i + 1] - self.bounds[i] for i in range(self.shards)
+        ]
+        kind = "node-aligned" if self.node_aligned else "node-splitting"
+        return (
+            f"{self.shards} shard(s) over {self.num_ranks} ranks "
+            f"(sizes {sizes}, {kind}, lookahead {self.lookahead * 1e6:.3f} us)"
+        )
+
+
+def plan_shards(
+    mapping: RankMapping,
+    shards: int,
+    params: BGQParams,
+    rank_weights: list[float] | None = None,
+    num_ranks: int | None = None,
+) -> ShardPlan:
+    """Partition ranks into ``shards`` contiguous blocks.
+
+    Boundaries target equal cumulative weight (uniform by default;
+    pass :func:`rank_weights_from_critical_path` output to bias shard
+    sizes against critical-path load) and are snapped to node boundaries
+    when that preserves a valid non-empty partition, maximising the
+    lookahead.
+
+    ``num_ranks`` defaults to the full mapping; jobs that use fewer
+    ranks than the partition offers pass their actual count.
+    """
+    if shards < 1:
+        raise PdesError(f"need >= 1 shard, got {shards}")
+    n = mapping.num_ranks if num_ranks is None else num_ranks
+    if n < 1 or n > mapping.num_ranks:
+        raise PdesError(
+            f"num_ranks {n} outside (0, {mapping.num_ranks}] for this mapping"
+        )
+    if shards > n:
+        raise PdesError(f"cannot split {n} rank(s) into {shards} shards")
+    if rank_weights is not None and len(rank_weights) != n:
+        raise PdesError(
+            f"rank_weights has {len(rank_weights)} entries for {n} ranks"
+        )
+
+    # Cumulative weight -> ideal (equal-weight) cut points.
+    if rank_weights is None:
+        cuts = [round(i * n / shards) for i in range(1, shards)]
+    else:
+        prefix = [0.0]
+        for w in rank_weights:
+            if w < 0:
+                raise PdesError(f"rank weight must be >= 0, got {w}")
+            prefix.append(prefix[-1] + w)
+        total = prefix[-1]
+        if total <= 0:
+            cuts = [round(i * n / shards) for i in range(1, shards)]
+        else:
+            cuts = [
+                bisect_left(prefix, i * total / shards, 1, n)
+                for i in range(1, shards)
+            ]
+
+    ppn = mapping.procs_per_node
+    bounds = [0]
+    for i, cut in enumerate(cuts):
+        remaining = shards - 1 - i  # shards still needing >= 1 rank each
+        lo, hi = bounds[-1] + 1, n - remaining
+        # Prefer the nearest node boundary; fall back to the raw cut.
+        snapped = round(cut / ppn) * ppn
+        for candidate in (snapped, cut):
+            if lo <= candidate <= hi:
+                bounds.append(candidate)
+                break
+        else:
+            bounds.append(min(max(cut, lo), hi))
+    bounds.append(n)
+
+    aligned = mapping.order.endswith("T") and all(
+        b % ppn == 0 for b in bounds[1:-1]
+    )
+    off_node = params.am_send_overhead + params.hop_latency
+    raw = off_node if aligned else min(off_node, params.shm_latency)
+    return ShardPlan(
+        bounds=tuple(bounds),
+        lookahead=raw * LOOKAHEAD_SAFETY,
+        node_aligned=aligned,
+    )
+
+
+def rank_weights_from_critical_path(report, num_ranks: int) -> list[float]:
+    """Per-rank partitioning weights from a critical-path report.
+
+    Every rank gets a base weight of 1.0 (it still has to execute its
+    local events); ranks that carry critical-path time get up to
+    ``num_ranks`` extra weight proportional to their share of the path,
+    so :func:`plan_shards` gives hot ranks smaller blocks.
+
+    ``report`` is a :class:`repro.obs.critical_path.CriticalPathReport`
+    (duck-typed: anything with ``segments`` carrying ``rank``/``duration``).
+    """
+    weights = [1.0] * num_ranks
+    crit = [0.0] * num_ranks
+    total = 0.0
+    for seg in report.segments:
+        if 0 <= seg.rank < num_ranks and seg.duration > 0:
+            crit[seg.rank] += seg.duration
+            total += seg.duration
+    if total > 0:
+        scale = num_ranks / total
+        for rank in range(num_ranks):
+            weights[rank] += crit[rank] * scale
+    return weights

@@ -1,0 +1,148 @@
+"""Cross-shard event transport: SPSC rings.
+
+One ring per ordered shard pair. The shared-memory variant backs the
+forked-worker mode; the deque variant gives the inline (single-process)
+mode the same API so both modes share the shard protocol code.
+
+The rings are single-producer single-consumer and are only drained at
+epoch barriers, so no locking is needed: the writer owns the tail
+cursor, the reader owns the head cursor, both are monotone byte counts,
+and the barrier between a flush and the matching drain orders the memory
+operations. A full ring is a hard protocol error (``PdesError``) rather
+than a blocking wait — the reader is parked at a barrier the writer has
+not reached yet, so waiting for space would deadlock; size the ring with
+``ring_capacity`` instead.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+from ...errors import PdesError
+
+#: Ring header: two little-endian u64 monotone byte cursors (head, tail).
+_HDR = struct.Struct("<QQ")
+_LEN = struct.Struct("<I")
+HEADER_SIZE = _HDR.size
+
+#: Default per-pair ring capacity (bytes of pickled event batches).
+DEFAULT_RING_CAPACITY = 1 << 20
+
+
+class ShmRing:
+    """SPSC byte-record ring over ``multiprocessing.shared_memory``.
+
+    Records are length-prefixed byte strings (pickled event batches),
+    written and read with wrap-around. Create in the parent before
+    forking; children inherit the mapping, so no name-based re-attach
+    (and no resource-tracker double bookkeeping) is needed.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 64:
+            raise PdesError(f"ring capacity must be >= 64 bytes, got {capacity}")
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=HEADER_SIZE + capacity
+        )
+        _HDR.pack_into(self._shm.buf, 0, 0, 0)
+
+    # ------------------------------------------------------------- write
+
+    def push(self, data: bytes) -> None:
+        """Append one record; raises :class:`PdesError` when full."""
+        buf = self._shm.buf
+        head, tail = _HDR.unpack_from(buf, 0)
+        need = _LEN.size + len(data)
+        if need > self.capacity - (tail - head):
+            raise PdesError(
+                f"shard ring overflow: record of {need} B does not fit "
+                f"({self.capacity - (tail - head)} B free of {self.capacity}); "
+                f"raise ring_capacity"
+            )
+        tail = self._write(tail, _LEN.pack(len(data)))
+        tail = self._write(tail, data)
+        struct.pack_into("<Q", buf, 8, tail)
+
+    def _write(self, pos: int, data: bytes) -> int:
+        buf = self._shm.buf
+        off = pos % self.capacity
+        first = min(len(data), self.capacity - off)
+        base = HEADER_SIZE + off
+        buf[base : base + first] = data[:first]
+        if first < len(data):
+            buf[HEADER_SIZE : HEADER_SIZE + len(data) - first] = data[first:]
+        return pos + len(data)
+
+    # -------------------------------------------------------------- read
+
+    def pop_all(self) -> list[bytes]:
+        """Drain every complete record (the per-barrier bulk read)."""
+        buf = self._shm.buf
+        head, tail = _HDR.unpack_from(buf, 0)
+        out: list[bytes] = []
+        while head != tail:
+            raw, head = self._read(head, _LEN.size)
+            (length,) = _LEN.unpack(raw)
+            data, head = self._read(head, length)
+            out.append(data)
+        struct.pack_into("<Q", buf, 0, head)
+        return out
+
+    def _read(self, pos: int, n: int) -> tuple[bytes, int]:
+        buf = self._shm.buf
+        off = pos % self.capacity
+        first = min(n, self.capacity - off)
+        base = HEADER_SIZE + off
+        data = bytes(buf[base : base + first])
+        if first < n:
+            data += bytes(buf[HEADER_SIZE : HEADER_SIZE + n - first])
+        return data, pos + n
+
+    # --------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class LocalRing:
+    """Deque-backed ring with the :class:`ShmRing` API (inline mode).
+
+    Enforces the same capacity accounting so inline fuzz runs exercise
+    the overflow path the shared-memory rings would hit.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.capacity = capacity
+        self._records: list[bytes] = []
+        self._used = 0
+
+    def push(self, data: bytes) -> None:
+        need = _LEN.size + len(data)
+        if need > self.capacity - self._used:
+            raise PdesError(
+                f"shard ring overflow: record of {need} B does not fit "
+                f"({self.capacity - self._used} B free of {self.capacity}); "
+                f"raise ring_capacity"
+            )
+        self._records.append(data)
+        self._used += need
+
+    def pop_all(self) -> list[bytes]:
+        out = self._records
+        self._records = []
+        self._used = 0
+        return out
+
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass

@@ -1,0 +1,287 @@
+"""Deterministic rank-program workloads for the parallel PDES runtime.
+
+Every workload follows the determinism contract of
+:mod:`repro.sim.parallel.program`: all choices (peers, delays, floats)
+are content-hashed from ``(rank, op, seed)``, handlers touch only their
+own rank's state, and any float accumulation happens in a fixed
+content-derived order (``sorted`` + ``math.fsum``) so results are
+bit-identical for every shard count — "commutative-safe" in the fuzz
+harness's sense.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from ...errors import PdesError
+from .program import Message, RankProgram, ShardRuntime, _mix
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _unit(h: int) -> float:
+    """Map a hash to a deterministic float in [-0.5, 0.5)."""
+    return (h % (1 << 30)) / float(1 << 30) - 0.5
+
+
+class CliqueProgram(RankProgram):
+    """All-to-all pings: each rank sends ``ops`` puts to hashed peers.
+
+    Every ping is answered with a pong, so the workload exercises both
+    the put path (source injection FIFO) and the AM control path in
+    both directions across every shard cut.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        num_ranks: int,
+        ops: int = 8,
+        payload_bytes: int = 64,
+        seed: int = 0,
+        spacing: float = 2e-6,
+    ) -> None:
+        self.rank = rank
+        self.n = num_ranks
+        self.ops = ops
+        self.payload_bytes = payload_bytes
+        self.seed = seed
+        self.spacing = spacing
+        self.sent = 0
+        self.recv = 0
+        self.acks = 0
+        self.checksum = 0
+
+    def _peer(self, op_index: int) -> int:
+        peer = _mix(self.rank, op_index, self.seed, 1) % (self.n - 1)
+        return peer + 1 if peer >= self.rank else peer
+
+    def start(self, rt: ShardRuntime) -> None:
+        if self.n < 2 or self.ops == 0:
+            return
+        stagger = self.spacing * (1 + _mix(self.rank, self.seed) % 64) / 64.0
+        rt.after(self.rank, stagger, "op", 0)
+
+    def on_message(self, rt: ShardRuntime, msg: Message) -> None:
+        kind, payload = msg[4], msg[5]
+        if kind == "op":
+            op_index = payload
+            rt.send_put(
+                self.rank, self._peer(op_index), self.payload_bytes,
+                "ping", (self.rank, op_index),
+            )
+            self.sent += 1
+            if op_index + 1 < self.ops:
+                gap = _mix(self.rank, op_index, self.seed, 2) % 16
+                rt.after(self.rank, self.spacing * (1 + gap) / 8.0, "op", op_index + 1)
+        elif kind == "ping":
+            src, op_index = payload
+            self.recv += 1
+            self.checksum = (self.checksum ^ _mix(src, op_index, 7)) & _MASK
+            rt.send_am(self.rank, src, "pong", op_index)
+        elif kind == "pong":
+            self.acks += 1
+
+    def result(self) -> Any:
+        return (self.sent, self.recv, self.acks, self.checksum)
+
+
+class HaloProgram(RankProgram):
+    """1D ring halo exchange: ``iters`` coupled neighbor rounds.
+
+    Each round waits for both neighbors' values before combining —
+    the tightest cross-shard dependency pattern (every round crosses
+    every cut twice). Combination folds the received values in sorted
+    order, so the float result is independent of arrival order.
+    """
+
+    def __init__(
+        self, rank: int, num_ranks: int, iters: int = 4, seed: int = 0
+    ) -> None:
+        self.rank = rank
+        self.n = num_ranks
+        self.iters = iters
+        self.value = _unit(_mix(rank, seed, 11))
+        self.it = 0
+        self._inbox: dict[int, list[float]] = {}
+
+    def _neighbors(self) -> tuple[int, int]:
+        return (self.rank - 1) % self.n, (self.rank + 1) % self.n
+
+    def _send_round(self, rt: ShardRuntime) -> None:
+        left, right = self._neighbors()
+        rt.send_am(self.rank, left, "halo", (self.it, self.value))
+        rt.send_am(self.rank, right, "halo", (self.it, self.value))
+
+    def start(self, rt: ShardRuntime) -> None:
+        if self.n < 2 or self.iters == 0:
+            return
+        self._send_round(rt)
+
+    def on_message(self, rt: ShardRuntime, msg: Message) -> None:
+        it, val = msg[5]
+        self._inbox.setdefault(it, []).append(val)
+        while len(self._inbox.get(self.it, ())) >= 2:
+            vals = self._inbox.pop(self.it)
+            self.value = (self.value + math.fsum(sorted(vals))) / 3.0
+            self.it += 1
+            if self.it < self.iters:
+                self._send_round(rt)
+
+    def result(self) -> Any:
+        return (self.it, self.value)
+
+
+class ScfLiteProgram(RankProgram):
+    """SCF-flavoured reduction: ranks compute terms, rank 0 sums them.
+
+    Tasks are dealt round-robin; each term is a hash-derived float sent
+    to rank 0, which sums with ``math.fsum`` over terms *sorted by task
+    id* — a schedule-independent, bit-exact global energy. Task
+    accounting (per-rank done counts) rides along in the results.
+    """
+
+    def __init__(
+        self, rank: int, num_ranks: int, tasks: int = 64, seed: int = 0
+    ) -> None:
+        self.rank = rank
+        self.n = num_ranks
+        self.seed = seed
+        self.my_tids = list(range(rank, tasks, num_ranks))
+        self.done = 0
+        self._terms: list[tuple[int, float]] = []  # rank 0 only
+
+    def start(self, rt: ShardRuntime) -> None:
+        if self.my_tids:
+            stagger = 1e-6 * (1 + _mix(self.rank, self.seed, 3) % 32) / 32.0
+            rt.after(self.rank, stagger, "task", 0)
+
+    def on_message(self, rt: ShardRuntime, msg: Message) -> None:
+        kind, payload = msg[4], msg[5]
+        if kind == "task":
+            i = payload
+            tid = self.my_tids[i]
+            term = _unit(_mix(tid, self.seed, 5))
+            rt.send_am(self.rank, 0, "term", (tid, term))
+            self.done += 1
+            if i + 1 < len(self.my_tids):
+                gap = _mix(self.rank, i, self.seed, 4) % 8
+                rt.after(self.rank, 1e-6 * (1 + gap) / 4.0, "task", i + 1)
+        elif kind == "term":
+            self._terms.append(payload)
+
+    def result(self) -> Any:
+        if self.rank == 0:
+            ordered = sorted(self._terms)
+            energy = math.fsum(term for _tid, term in ordered)
+            return ("energy", energy, len(ordered), self.done)
+        return ("tasks", self.done)
+
+
+class ChaosCliqueProgram(RankProgram):
+    """Clique pings under deterministic drops, with ack + bounded retry.
+
+    The chaos target of the equivalence fuzz: drops are content-hashed
+    (see :class:`ChaosSpec`), receivers deduplicate by ``(src, op)``,
+    and senders retry on a timer until acked or the attempt budget runs
+    out — every branch of which is schedule-independent, so accounting
+    (acked/failed/unique-received) is exactly equal across shard counts.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        num_ranks: int,
+        ops: int = 6,
+        seed: int = 0,
+        timeout: float = 25e-6,
+        max_attempts: int = 12,
+        spacing: float = 2e-6,
+    ) -> None:
+        self.rank = rank
+        self.n = num_ranks
+        self.ops = ops
+        self.seed = seed
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.spacing = spacing
+        self.pending: dict[int, int] = {}  # op index -> attempts
+        self.acked: set[int] = set()
+        self.failed: set[int] = set()
+        self.seen: set[tuple[int, int]] = set()
+        self.recv_unique = 0
+        self.checksum = 0
+
+    def _peer(self, op_index: int) -> int:
+        peer = _mix(self.rank, op_index, self.seed, 21) % (self.n - 1)
+        return peer + 1 if peer >= self.rank else peer
+
+    def start(self, rt: ShardRuntime) -> None:
+        if self.n < 2 or self.ops == 0:
+            return
+        stagger = self.spacing * (1 + _mix(self.rank, self.seed, 20) % 64) / 64.0
+        rt.after(self.rank, stagger, "op", 0)
+
+    def on_message(self, rt: ShardRuntime, msg: Message) -> None:
+        kind, payload = msg[4], msg[5]
+        if kind == "op":
+            op_index = payload
+            self.pending[op_index] = 1
+            rt.send_am(self.rank, self._peer(op_index), "ping", (self.rank, op_index))
+            rt.after(self.rank, self.timeout, "retry", op_index)
+            if op_index + 1 < self.ops:
+                gap = _mix(self.rank, op_index, self.seed, 22) % 16
+                rt.after(self.rank, self.spacing * (1 + gap) / 8.0, "op", op_index + 1)
+        elif kind == "ping":
+            src, op_index = payload
+            if (src, op_index) not in self.seen:
+                self.seen.add((src, op_index))
+                self.recv_unique += 1
+                self.checksum = (self.checksum ^ _mix(src, op_index, 23)) & _MASK
+            # Ack every copy: the previous ack may itself have dropped.
+            rt.send_am(self.rank, src, "ack", op_index)
+        elif kind == "ack":
+            if payload in self.pending:
+                del self.pending[payload]
+                self.acked.add(payload)
+        elif kind == "retry":
+            op_index = payload
+            attempts = self.pending.get(op_index)
+            if attempts is None:
+                return  # already acked; stale timer
+            if attempts >= self.max_attempts:
+                del self.pending[op_index]
+                self.failed.add(op_index)
+                return
+            self.pending[op_index] = attempts + 1
+            rt.send_am(self.rank, self._peer(op_index), "ping", (self.rank, op_index))
+            rt.after(self.rank, self.timeout, "retry", op_index)
+
+    def result(self) -> Any:
+        return (
+            len(self.acked),
+            len(self.failed),
+            self.recv_unique,
+            self.checksum,
+        )
+
+
+WORKLOADS: dict[str, type] = {
+    "clique": CliqueProgram,
+    "halo": HaloProgram,
+    "scf_lite": ScfLiteProgram,
+    "chaos_clique": ChaosCliqueProgram,
+}
+
+
+def make_factory(
+    name: str, num_ranks: int, **kwargs: Any
+) -> Callable[[int], RankProgram]:
+    """Factory for ``run_program``: ``rank -> workload program``."""
+    cls = WORKLOADS.get(name)
+    if cls is None:
+        raise PdesError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return lambda rank: cls(rank, num_ranks, **kwargs)

@@ -1,0 +1,101 @@
+"""Equivalence fuzz: shards=1 (oracle) vs shards={2,4} must match exactly.
+
+For every seed and every commutative-safe workload, the single-engine
+oracle and the sharded runs must agree on:
+
+- the schedule digest (per-rank delivery streams, order-exact);
+- every per-rank workload result — SCF-style energies bit-for-bit,
+  transfer checksums, task/ack accounting;
+- delivered / dropped event totals.
+
+Most cases run the sharded configuration in inline mode (same protocol
+code and serialization as the forked mode, no processes); a smaller set
+of seeds exercises the real fork mode end-to-end. ``REPRO_PDES_SEEDS``
+scales the seed count (CI smoke uses a reduced value; the acceptance
+bar is >= 25).
+"""
+
+import os
+
+import pytest
+
+from repro.sim.parallel import ChaosSpec, make_factory, run_program
+
+SEEDS = int(os.environ.get("REPRO_PDES_SEEDS", "25"))
+FORK_SEEDS = int(os.environ.get("REPRO_PDES_FORK_SEEDS", "2"))
+
+#: (workload, kwargs, num_ranks, chaos drop_mod or None)
+TARGETS = [
+    ("clique", dict(ops=4), 48, None),
+    ("halo", dict(iters=3), 40, None),
+    ("scf_lite", dict(tasks=36), 36, None),
+    ("chaos_clique", dict(ops=3), 40, 4),
+]
+
+
+def _run(name, kw, n, drop_mod, seed, shards, mode):
+    chaos = None if drop_mod is None else ChaosSpec(drop_mod=drop_mod, salt=seed)
+    return run_program(
+        make_factory(name, n, seed=seed, **kw),
+        n,
+        shards=shards,
+        mode=mode,
+        chaos=chaos,
+    )
+
+
+def _assert_equivalent(base, other, label):
+    assert other.schedule_digest == base.schedule_digest, (
+        f"{label}: schedule digest diverged "
+        f"({base.schedule_digest:#x} vs {other.schedule_digest:#x})"
+    )
+    assert other.results == base.results, f"{label}: workload results diverged"
+    assert other.delivered == base.delivered, f"{label}: delivered count diverged"
+    assert other.dropped == base.dropped, f"{label}: dropped count diverged"
+
+
+@pytest.mark.parametrize("name,kw,n,drop_mod", TARGETS)
+def test_shards_match_oracle(name, kw, n, drop_mod):
+    for seed in range(SEEDS):
+        base = _run(name, kw, n, drop_mod, seed, 1, "single")
+        assert base.delivered > 0, f"{name} seed {seed} produced no traffic"
+        for shards in (2, 4):
+            sharded = _run(name, kw, n, drop_mod, seed, shards, "inline")
+            _assert_equivalent(
+                base, sharded, f"{name} seed {seed} shards={shards}"
+            )
+
+
+@pytest.mark.parametrize("name,kw,n,drop_mod", TARGETS)
+def test_fork_mode_matches_oracle(name, kw, n, drop_mod):
+    """Real worker processes + shared-memory rings, a few seeds each."""
+    for seed in range(FORK_SEEDS):
+        base = _run(name, kw, n, drop_mod, seed, 1, "single")
+        sharded = _run(name, kw, n, drop_mod, seed, 2, "fork")
+        _assert_equivalent(base, sharded, f"{name} seed {seed} fork shards=2")
+
+
+def test_digest_is_sensitive():
+    """Different seeds must yield different digests (the oracle can see)."""
+    digests = {
+        _run("clique", dict(ops=4), 48, None, seed, 1, "single").schedule_digest
+        for seed in range(5)
+    }
+    assert len(digests) == 5
+
+
+def test_scf_energy_bit_exact_across_shard_counts():
+    """The headline numeric check: fsum-over-sorted-terms is bit-stable."""
+    n, tasks = 36, 60
+    energies = set()
+    for shards, mode in [(1, "single"), (2, "inline"), (4, "inline"), (2, "fork")]:
+        r = run_program(
+            make_factory("scf_lite", n, tasks=tasks, seed=11),
+            n,
+            shards=shards,
+            mode=mode,
+        )
+        tag, energy, terms, done = r.results[0]
+        assert tag == "energy" and terms == tasks
+        energies.add(energy)
+    assert len(energies) == 1, f"energy drifted across shard counts: {energies}"

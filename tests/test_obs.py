@@ -272,7 +272,26 @@ class TestMetrics:
         a.merge(b)
         assert a.count == 2
         assert a.max == 3e-6
-        assert set(a.per_rank()) == {0}  # merge folds aggregates only
+        # merge folds per-rank sub-histograms too (shard-merge support)
+        assert set(a.per_rank()) == {0, 1}
+        assert a.per_rank()[1].count == 1
+
+    def test_registry_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("ops").incr(2, rank=0)
+        b.counter("ops").incr(3, rank=5)
+        b.counter("only_b").incr(7)
+        a.gauge("high").set(1.5)
+        b.gauge("high").set(4.5, rank=5)
+        a.histogram("lat").record(1e-6)
+        b.histogram("lat").record(2e-6)
+        a.merge(b)
+        assert a.counter("ops").total == 5
+        assert a.counter("ops").per_rank == {0: 2, 5: 3}
+        assert a.counter("only_b").total == 7
+        assert a.gauge("high").value == 4.5
+        assert a.histogram("lat").count == 2
 
     def test_registry_snapshot_is_json_stable(self):
         reg = MetricsRegistry()
