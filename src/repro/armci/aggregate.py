@@ -57,6 +57,11 @@ class AggregateHandle:
 
     owner: "ArmciProcess"
     dst: int
+    #: Optional observer called as ``on_flush(total_bytes, segments)``
+    #: after each successful flush — the serve layer's batching
+    #: dashboards hang off this without touching the hot path (``None``,
+    #: the default, costs one test).
+    on_flush: Any = None
     _staged: list[tuple[int, Any]] = field(default_factory=list)
     _flushed: bool = False
 
@@ -144,4 +149,6 @@ class AggregateHandle:
             if sid is not None:
                 rt.obs.end(sid)
         rt.trace.incr("armci.aggregate_flushes")
+        if self.on_flush is not None:
+            self.on_flush(total, vec.num_segments)
         return handle

@@ -70,6 +70,28 @@ _COUNTER_LAYOUT: tuple[tuple[str, str, str], ...] = (
     ("resilience", "recover.bytes_restored", "bytes restored"),
     ("resilience", "recover.bytes_rereplicated", "bytes re-replicated"),
     ("resilience", "gax.pool_shards_failed_over", "task-pool shards failed over"),
+    ("serving", "serve.actors_registered", "actors registered"),
+    ("serving", "serve.records_posted", "actor records posted"),
+    ("serving", "serve.records_sent", "actor records sent (wire)"),
+    ("serving", "serve.records_delivered", "actor records delivered"),
+    ("serving", "serve.local_deliveries", "loopback deliveries"),
+    ("serving", "serve.wire_flushes", "aggregated mailbox flushes"),
+    ("serving", "serve.head_refreshes", "ring head refreshes (AMO)"),
+    ("serving", "serve.backpressure_deferrals", "sends deferred (ring full)"),
+    ("serving", "serve.guard_deferrals", "inbox polls deferred (guard)"),
+    ("serving", "serve.waves_coordinated", "termination waves coordinated"),
+    ("serving", "serve.wave_contributions", "termination wave contributions"),
+    ("serving", "serve.watermarks_merged", "standby watermarks merged"),
+    ("serving", "serve.termination_failovers", "termination coordinator failovers"),
+    ("serving", "serve.peer_deaths", "actor peers discovered dead"),
+    ("serving", "serve.records_dropped_dead", "records dropped (dead peer)"),
+    ("serving", "kv.requests_applied", "KV requests applied"),
+    ("serving", "kv.responses_sent", "KV responses sent"),
+    ("serving", "kv.responses_received", "KV responses received"),
+    ("serving", "kv.responses_late", "KV responses past deadline"),
+    ("serving", "kv.deadline_misses", "KV requests served late"),
+    ("serving", "kv.ctl_messages", "KV control messages"),
+    ("serving", "kv.shard_failovers", "KV shard failovers"),
     ("progress", "pami.items_serviced", "progress items serviced"),
     ("progress", "armci.async_thread_serviced", "items by async threads"),
     ("progress", "pami.rmw_serviced", "AMOs serviced"),
@@ -137,6 +159,27 @@ def runtime_report(job: "ArmciJob") -> str:
     rows.append(
         ["time", "simulated clock", f"{us(job.engine.now):.1f} us"]
     )
+    metrics = getattr(job, "serve_metrics", None)
+    if metrics is not None:
+        lat = metrics.histogram("serve.latency")
+        if lat.count:
+            for label, p in (("p50", 50), ("p99", 99), ("p999", 99.9)):
+                rows.append(
+                    [
+                        "serving",
+                        f"request latency {label}",
+                        f"{us(lat.percentile(p)):.1f} us",
+                    ]
+                )
+            duration = metrics.gauge("serve.duration").value or job.engine.now
+            if duration > 0:
+                rows.append(
+                    [
+                        "serving",
+                        "response throughput",
+                        f"{lat.count / duration:.0f} req/s",
+                    ]
+                )
     obs = job.obs
     if obs is not None:
         rows.append(["observability", "spans recorded", len(obs.spans)])

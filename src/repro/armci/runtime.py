@@ -263,6 +263,11 @@ class ArmciJob:
                 num_ranks=num_procs,
             )
             self.trace.incr("pdes.shards", self.config.shards)
+        #: Serving-tier metrics registry (``repro.obs.metrics``), or
+        #: ``None`` until the first ``repro.serve.ActorSystem`` is
+        #: constructed on this job — jobs that never touch the serve
+        #: layer carry only this untouched attribute.
+        self.serve_metrics = None
 
     @property
     def num_procs(self) -> int:
@@ -1167,8 +1172,14 @@ class ArmciProcess:
             _vec.nbputv_pack(self, dst, vec, h)
         self.tracker.on_write(dst, key)
         if self.observer is not None:
-            lo, ext = vec.remote_extent()
-            self._observe("on_write", dst, key, lo, ext, "aggputv")
+            # Per-segment observations, not the bounding extent: an
+            # aggregate batches writes to scattered addresses (e.g. one
+            # mailbox lane per actor inbox), and two ranks' batches
+            # routinely interleave in address space while every actual
+            # byte range stays disjoint. The bounding box would flag
+            # that as a race.
+            for ra, nb in zip(vec.remote_addrs, vec.lengths):
+                self._observe("on_write", dst, key, ra, nb, "aggputv")
         return h
 
     def aggregate(self, dst: int):

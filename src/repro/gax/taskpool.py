@@ -179,11 +179,14 @@ class DistributedTaskPool:
             # No standby, or the standby is the counter that just died.
             return False
         backup = self.backups[shard]
-        try:
-            yield from rt.rmw(
-                backup.host, backup.addr, "fetch_max", watermarks.get(shard, 0)
-            )
-        except ProcessFailedError:
+        # Function-level import: repro.serve builds on gax primitives,
+        # so gax must not import serve at module scope.
+        from ..serve.termination import merge_watermark
+
+        merged = yield from merge_watermark(
+            rt, backup.host, backup.addr, watermarks.get(shard, 0)
+        )
+        if not merged:
             return False
         failed_over.add(shard)
         rt.trace.incr("gax.pool_shards_failed_over")

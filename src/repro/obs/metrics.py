@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Number of log2 buckets (fixed; part of the documented scheme).
 NUM_BUCKETS = 96
 #: Anchor of the bucket ladder: one simulated nanosecond.
@@ -139,6 +141,41 @@ class Histogram:
                 sub = self._per_rank[rank] = Histogram(keep_raw=self.keep_raw)
             sub.record(value)
 
+    def record_many(self, values, rank: int | None = None) -> None:
+        """Vectorized :meth:`record` of a whole array of observations.
+
+        The serving workload records per-batch latency arrays (up to
+        thousands of responses per delivery); bucketing them one Python
+        call at a time would dominate the run. ``np.frexp`` computes
+        every bucket index at once — same ladder, same clamping as
+        :func:`bucket_index`.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        m, e = np.frexp(arr / BUCKET_ANCHOR)
+        idx = np.where(m > 0.5, e, e - 1)
+        np.clip(idx, 0, NUM_BUCKETS - 1, out=idx)
+        idx[arr <= BUCKET_ANCHOR] = 0
+        for i, c in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(i)] += int(c)
+        self.count += arr.size
+        self.total += float(arr.sum())
+        lo, hi = float(arr.min()), float(arr.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+        if self._raw is not None:
+            self._raw.extend(arr.tolist())
+        if rank is not None:
+            if self._per_rank is None:
+                self._per_rank = {}
+            sub = self._per_rank.get(rank)
+            if sub is None:
+                sub = self._per_rank[rank] = Histogram(keep_raw=self.keep_raw)
+            sub.record_many(arr)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -173,8 +210,16 @@ class Histogram:
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
-        if self._raw is not None and other._raw is not None:
-            self._raw.extend(other._raw)
+        if self._raw is not None:
+            if other._raw is not None:
+                self._raw.extend(other._raw)
+            elif other.count > 0:
+                # Raw-keeping histogram folded with a bucket-only one:
+                # exact percentiles over a *subset* of observations would
+                # silently drift from the bucket truth (the cross-shard
+                # folding bug the dashboards depend on avoiding), so
+                # degrade to deterministic bucket percentiles instead.
+                self._raw = None
         if other._per_rank:
             if self._per_rank is None:
                 self._per_rank = {}
@@ -198,6 +243,7 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             "sum": self.total,
         }
 

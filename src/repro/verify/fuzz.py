@@ -437,13 +437,91 @@ def target_scf(
     )
 
 
-#: The five fuzz targets, keyed by name.
+def target_kv(
+    seed: int,
+    policy: str = "random",
+    tracker: str = "cs_mr",
+    limit: int | None = None,
+    config_overrides: dict | None = None,
+) -> FuzzResult:
+    """Sharded KV serving scenario: actors, rings, chaos, and a crash.
+
+    The full ``repro.serve`` stack — remote-accumulate mailboxes,
+    aggregation, guarded inboxes, four-counter termination — under
+    transient chaos plus one hard server crash mid-traffic. On every
+    explored schedule the run must terminate, the surviving authority
+    of each shard must match the golden model *exactly* (the
+    exactly-once accumulate audit), and the oracle must stay clean.
+    """
+    from ..chaos import FaultPlan
+    from ..serve import ClientLoadConfig, KvConfig, run_kv
+
+    p = 4
+    engine = Engine(policy=make_policy(policy, seed, limit))
+    holder: dict[str, object] = {}
+
+    def on_job(job):
+        holder["job"] = job
+        holder["oracle"] = attach_oracle(job)
+
+    load = ClientLoadConfig(
+        num_clients=64, requests_per_client=2, num_keys=64,
+        put_keys_per_rank=8, rate=5e4, arrival="bursty", deadline=2e-2,
+        seed=seed,
+    )
+    # Crash rank 1 (a server) well past worst-case setup but inside the
+    # ~2.6 ms traffic window, so failover runs while requests fly.
+    plan = FaultPlan().crash(1, at=5.5e-3)
+    failures: list[str] = []
+    try:
+        result = run_kv(
+            p,
+            load=load,
+            kv_config=KvConfig(num_shards=2),
+            armci_config=ArmciConfig(
+                consistency_tracker=tracker, **(config_overrides or {})
+            ),
+            procs_per_node=2,
+            chaos=ChaosConfig.light(seed),
+            fault_plan=plan,
+            engine=engine,
+            on_job=on_job,
+        )
+        if not result.exact:
+            failures.append(
+                f"golden mismatch: {result.mismatched_keys} keys diverged"
+            )
+        if result.responses > result.requests:
+            failures.append(
+                f"duplicated responses: {result.responses} > {result.requests}"
+            )
+    except ReproError as exc:
+        failures.append(f"run:{type(exc).__name__}: {exc}")
+    oracle = holder.get("oracle")
+    if oracle is None:  # init itself failed
+        oracle = HappensBeforeOracle(p)
+    job = holder.get("job")
+
+    class _EmptyTrace:
+        @staticmethod
+        def snapshot() -> dict[str, int]:
+            return {}
+
+    return _finish(
+        "kv", seed, engine, oracle,
+        job.trace if job is not None else _EmptyTrace, failures,
+        obs=job.obs if job is not None else None,
+    )
+
+
+#: The six fuzz targets, keyed by name.
 FUZZ_TARGETS: dict[str, Callable[..., FuzzResult]] = {
     "scf": target_scf,
     "strided": target_strided,
     "vector": target_vector,
     "lock": target_lock,
     "chaos": target_chaos,
+    "kv": target_kv,
 }
 
 

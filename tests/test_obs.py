@@ -307,6 +307,98 @@ class TestMetrics:
         assert json.dumps(reg.snapshot(per_rank=True), sort_keys=True) == text
 
 
+class TestHistogramShardMerge:
+    """Merge-then-percentile round trips — the serving dashboards fold
+    one histogram per shard/rank and quote p50/p99/p999 off the result,
+    so the merged view must agree with a single histogram that saw every
+    observation directly."""
+
+    def test_record_many_equals_record_loop(self):
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        values = rng.lognormal(mean=-12.0, sigma=2.0, size=4000)
+        one = Histogram()
+        many = Histogram()
+        for v in values:
+            one.record(float(v), rank=int(v * 1e9) % 3)
+        many.record_many(values[:1000], rank=0)
+        many.record_many(values[1000:2000], rank=1)
+        many.record_many(values[2000:], rank=2)
+        # Different rank attribution, identical aggregate view.
+        assert many.counts == one.counts
+        assert many.count == one.count
+        assert many.total == pytest.approx(one.total)
+        assert many.min == one.min and many.max == one.max
+        for p in (50, 95, 99, 99.9):
+            assert many.percentile(p) == one.percentile(p)
+
+    def test_record_many_hits_exact_bucket_edges(self):
+        # Edge values must land in the same bucket whether recorded
+        # scalar or vectorized (the frexp half-open boundary case).
+        edges = [BUCKET_ANCHOR, 2e-9, 2.0000001e-9, 1024e-9, 0.5, 1e30, 0.0]
+        scalar = Histogram()
+        vector = Histogram()
+        for v in edges:
+            scalar.record(v)
+        vector.record_many(edges)
+        assert vector.counts == scalar.counts
+
+    def test_merged_shards_match_global_percentiles(self):
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        values = rng.gamma(2.0, 40e-6, size=9000)
+        whole = Histogram()
+        whole.record_many(values)
+        merged = Histogram()
+        for shard in np.array_split(values, 7):  # uneven shard sizes
+            h = Histogram()
+            h.record_many(shard)
+            merged.merge(h)
+        assert merged.counts == whole.counts
+        assert merged.summary() == whole.summary()
+
+    def test_summary_includes_p999(self):
+        h = Histogram(keep_raw=True)
+        h.record_many([float(i) * 1e-6 for i in range(1, 1001)])
+        s = h.summary()
+        assert s["p999"] == pytest.approx(1000e-6)
+        assert s["p999"] >= s["p99"] >= s["p95"] >= s["p50"]
+
+    def test_raw_merge_keeps_exactness(self):
+        a = Histogram(keep_raw=True)
+        b = Histogram(keep_raw=True)
+        a.record_many([1e-6, 2e-6])
+        b.record_many([3e-6, 4e-6])
+        a.merge(b)
+        assert a.keep_raw
+        assert a.percentile(50) == pytest.approx(2e-6)
+
+    def test_keep_raw_mismatch_degrades_to_buckets(self):
+        # Folding a bucket-only shard into a raw-keeping histogram must
+        # NOT keep quoting "exact" percentiles over a partial raw list —
+        # that silently drifts from the truth. It degrades to bucket
+        # percentiles covering every observation instead.
+        raw = Histogram(keep_raw=True)
+        raw.record_many([1e-6] * 10)
+        buckets_only = Histogram()
+        buckets_only.record_many([100e-6] * 90)
+        raw.merge(buckets_only)
+        assert not raw.keep_raw
+        assert raw.count == 100
+        # p99 now reflects the bucket truth (dominated by the 100us
+        # observations), not the stale 10-value raw list.
+        assert raw.percentile(99) >= 100e-6
+
+    def test_empty_bucket_only_merge_preserves_raw(self):
+        raw = Histogram(keep_raw=True)
+        raw.record(5e-6)
+        raw.merge(Histogram())  # empty shard: nothing to mistrust
+        assert raw.keep_raw
+        assert raw.percentile(50) == pytest.approx(5e-6)
+
+
 def _sample_spans():
     return [
         Span(1, None, 0, "main", "op", "put", 0.0, 3.0),

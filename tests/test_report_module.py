@@ -18,6 +18,7 @@ class TestCounterLayout:
         assert sections <= {
             "protocols", "datapath", "aggregation", "caches",
             "synchronization", "resilience", "progress", "network",
+            "serving",
         }
 
 
